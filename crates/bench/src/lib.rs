@@ -1,0 +1,1 @@
+//! Criterion bench harness crate. See `benches/`.

@@ -1,0 +1,40 @@
+//! # mmdiag-core
+//!
+//! The paper's primary contribution: a general `O(Δ·N)` algorithm for the
+//! fault diagnosis problem under the comparison (MM) diagnosis model
+//! (Stewart, IPDPS 2010).
+//!
+//! * [`set_builder`] — the §4.1 `Set_Builder` procedure (unrestricted and
+//!   part-restricted), with its spanning-tree artifact and contributor
+//!   accounting;
+//! * [`tree`] — the tree `T` described by the parent function `t`;
+//! * [`driver`] — the Theorem-1 driver: probe part representatives, certify
+//!   an all-healthy seed, grow `U_r`, output `N(U_r) = F`;
+//! * [`parallel`] — concurrently probed variant of the driver.
+//!
+//! ```
+//! use mmdiag_core::driver::diagnose;
+//! use mmdiag_syndrome::{FaultSet, OracleSyndrome, TesterBehavior};
+//! use mmdiag_topology::families::Hypercube;
+//!
+//! // A 7-dimensional hypercube with three faulty processors.
+//! let g = Hypercube::new(7);
+//! let faults = FaultSet::new(128, &[3, 64, 90]);
+//! let syndrome = OracleSyndrome::new(faults, TesterBehavior::Random { seed: 1 });
+//!
+//! let diagnosis = diagnose(&g, &syndrome).unwrap();
+//! assert_eq!(diagnosis.faults, vec![3, 64, 90]);
+//! ```
+
+pub mod driver;
+pub mod parallel;
+pub mod set_builder;
+pub mod tree;
+
+pub use driver::{diagnose, diagnose_unchecked, Diagnosis, DiagnosisError};
+pub use parallel::diagnose_parallel;
+pub use set_builder::{
+    lookup_bound, set_builder, set_builder_filtered, set_builder_in_part, SetBuilderOutcome,
+    Workspace,
+};
+pub use tree::SpanningTree;

@@ -1,0 +1,170 @@
+//! Parallel probing (experiment PAR — an ablation on the driver's only
+//! embarrassingly parallel phase).
+//!
+//! The sequential driver probes part representatives one by one. The
+//! probes are independent reads of the syndrome, so they can run
+//! concurrently: this module shards the parts over `threads` scoped worker
+//! threads, each with its own [`Workspace`], and takes the *lowest-indexed*
+//! certified part (so results are deterministic and identical to the
+//! sequential driver's choice). The final unrestricted growth and the
+//! neighbourhood sweep are inherently sequential and stay on the caller's
+//! thread.
+//!
+//! Consistent with the "Rust Atomics and Locks" guidance, coordination is a
+//! single shared `AtomicUsize` holding the best certified part so far
+//! (fetch-min via a CAS loop); workers stop early once every part below
+//! their current candidate is decided.
+
+use crate::driver::{Diagnosis, DiagnosisError};
+use crate::set_builder::{set_builder, set_builder_in_part, Workspace};
+use mmdiag_syndrome::SyndromeSource;
+use mmdiag_topology::Partitionable;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Like [`crate::driver::diagnose`], but probing part representatives on
+/// `threads` worker threads. Requires the topology and syndrome to be
+/// shareable across threads.
+pub fn diagnose_parallel<T, S>(
+    g: &T,
+    s: &S,
+    threads: usize,
+) -> Result<Diagnosis, DiagnosisError>
+where
+    T: Partitionable + Sync + ?Sized,
+    S: SyndromeSource + Sync + ?Sized,
+{
+    g.check_partition_preconditions()
+        .map_err(DiagnosisError::Preconditions)?;
+    let bound = g.driver_fault_bound();
+    let parts = g.part_count();
+    let threads = threads.clamp(1, parts);
+    let start_lookups = s.lookups();
+
+    let best = AtomicUsize::new(usize::MAX);
+    let probes = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let best = &best;
+            let probes = &probes;
+            scope.spawn(move || {
+                let mut ws = Workspace::new(g.node_count());
+                // Strided sharding: worker t probes parts t, t+threads, …
+                let mut part = t;
+                while part < parts {
+                    if best.load(Ordering::Acquire) < part {
+                        // A lower-indexed certificate exists; nothing this
+                        // worker finds from here on can win.
+                        break;
+                    }
+                    probes.fetch_add(1, Ordering::Relaxed);
+                    let probe = set_builder_in_part(g, s, g.representative(part), bound, &mut ws);
+                    if probe.all_healthy {
+                        // fetch-min CAS loop.
+                        let mut cur = best.load(Ordering::Acquire);
+                        while part < cur {
+                            match best.compare_exchange_weak(
+                                cur,
+                                part,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            ) {
+                                Ok(_) => break,
+                                Err(actual) => cur = actual,
+                            }
+                        }
+                        break;
+                    }
+                    part += threads;
+                }
+            });
+        }
+    });
+
+    let part = best.load(Ordering::Acquire);
+    if part == usize::MAX {
+        return Err(DiagnosisError::NoPartCertified);
+    }
+    // Sequential tail: unrestricted growth from the winning seed + sweep.
+    let mut ws = Workspace::new(g.node_count());
+    let u0 = g.representative(part);
+    let full = set_builder(g, s, u0, bound, &mut ws);
+    let n = g.node_count();
+    let mut in_set = vec![false; n];
+    for &m in &full.members {
+        in_set[m] = true;
+    }
+    let mut fault_flag = vec![false; n];
+    let mut faults = Vec::new();
+    let mut buf = Vec::new();
+    for &m in &full.members {
+        g.neighbors_into(m, &mut buf);
+        for &v in &buf {
+            if !in_set[v] && !fault_flag[v] {
+                fault_flag[v] = true;
+                faults.push(v);
+            }
+        }
+    }
+    faults.sort_unstable();
+    if faults.len() > bound {
+        return Err(DiagnosisError::TooManyFaults {
+            found: faults.len(),
+            bound,
+        });
+    }
+    Ok(Diagnosis {
+        faults,
+        certified_part: part,
+        probes: probes.load(Ordering::Relaxed),
+        healthy_count: full.members.len(),
+        tree: full.tree,
+        lookups_used: s.lookups().saturating_sub(start_lookups),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::diagnose;
+    use mmdiag_syndrome::{FaultSet, OracleSyndrome, TesterBehavior};
+    use mmdiag_topology::families::Hypercube;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = Hypercube::new(8);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2024);
+        for trial in 0..6 {
+            let f = FaultSet::random(256, trial + 2, &mut rng);
+            let s = OracleSyndrome::new(f.clone(), TesterBehavior::Random { seed: trial as u64 });
+            let seq = diagnose(&g, &s).unwrap();
+            for threads in [1, 2, 4, 8] {
+                let par = diagnose_parallel(&g, &s, threads).unwrap();
+                assert_eq!(par.faults, seq.faults, "threads={threads}");
+                assert_eq!(
+                    par.certified_part, seq.certified_part,
+                    "parallel must pick the lowest certified part"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_equals_driver() {
+        let g = Hypercube::new(7);
+        let f = FaultSet::new(128, &[5, 70]);
+        let s = OracleSyndrome::new(f.clone(), TesterBehavior::AllZero);
+        let d = diagnose_parallel(&g, &s, 1).unwrap();
+        assert_eq!(d.faults, f.members());
+    }
+
+    #[test]
+    fn thread_count_clamped() {
+        let g = Hypercube::new(7); // 8 parts
+        let f = FaultSet::new(128, &[]);
+        let s = OracleSyndrome::new(f, TesterBehavior::AllZero);
+        // 64 threads requested, clamped to the number of parts.
+        let d = diagnose_parallel(&g, &s, 64).unwrap();
+        assert!(d.faults.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! The spanning tree `T` built by `Set_Builder` (§4.1).
+//!
+//! The function `t : U_r \ {u0} → U_r` ("`t(v)` is the parent of `v`")
+//! describes a tree rooted at `u0`. Its *internal* nodes are exactly the
+//! contributors `C_1 ∪ C_2 ∪ …`, which drive the all-healthy certificate;
+//! and when diagnosis succeeds the tree spans the healthy nodes — the
+//! by-product §6 points out "could possibly be utilised in some other
+//! context".
+
+use mmdiag_topology::NodeId;
+
+/// A rooted spanning tree over a subset of the network's nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanningTree {
+    root: NodeId,
+    /// `(child, parent)` pairs in the order children were attached.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl SpanningTree {
+    /// A tree consisting of just the root.
+    pub fn singleton(root: NodeId) -> Self {
+        SpanningTree {
+            root,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Construct from the root and `(child, parent)` pairs.
+    pub fn from_edges(root: NodeId, edges: Vec<(NodeId, NodeId)>) -> Self {
+        SpanningTree { root, edges }
+    }
+
+    /// The root `u0`.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// `(child, parent)` pairs in attachment order.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Number of nodes spanned (root + children).
+    pub fn node_count(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// The parent of `v`, or `None` for the root / non-members.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.edges
+            .iter()
+            .find(|&&(c, _)| c == v)
+            .map(|&(_, p)| p)
+    }
+
+    /// The internal nodes (nodes with at least one child) — the
+    /// contributors of §4.1.
+    pub fn internal_nodes(&self) -> Vec<NodeId> {
+        let mut parents: Vec<NodeId> = self.edges.iter().map(|&(_, p)| p).collect();
+        parents.sort_unstable();
+        parents.dedup();
+        parents
+    }
+
+    /// Depth of `v` (root = 0), or `None` if `v` is not in the tree.
+    pub fn depth(&self, v: NodeId) -> Option<usize> {
+        if v == self.root {
+            return Some(0);
+        }
+        let mut cur = v;
+        let mut d = 0usize;
+        // The edge list is acyclic by construction, so this terminates.
+        loop {
+            match self.parent(cur) {
+                Some(p) => {
+                    d += 1;
+                    if p == self.root {
+                        return Some(d);
+                    }
+                    cur = p;
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Validate tree invariants: every child appears once, every parent is
+    /// the root or some earlier child, no child equals the root.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(self.root);
+        for &(c, p) in &self.edges {
+            if c == self.root {
+                return Err(format!("root {c} appears as a child"));
+            }
+            if !seen.contains(&p) {
+                return Err(format!("parent {p} of {c} not attached before it"));
+            }
+            if !seen.insert(c) {
+                return Err(format!("child {c} attached twice"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpanningTree {
+        // 0 -> {1, 2}; 1 -> {3}
+        SpanningTree::from_edges(0, vec![(1, 0), (2, 0), (3, 1)])
+    }
+
+    #[test]
+    fn basics() {
+        let t = sample();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(9), None);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn internal_nodes_are_contributors() {
+        let t = sample();
+        assert_eq!(t.internal_nodes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn depths() {
+        let t = sample();
+        assert_eq!(t.depth(0), Some(0));
+        assert_eq!(t.depth(2), Some(1));
+        assert_eq!(t.depth(3), Some(2));
+        assert_eq!(t.depth(7), None);
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = SpanningTree::singleton(5);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.internal_nodes().is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_orphans() {
+        let t = SpanningTree::from_edges(0, vec![(2, 1)]);
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Fault sets: which nodes of the network are faulty.
+
+use mmdiag_topology::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A set of faulty nodes with `O(1)` membership tests and a canonical
+/// (sorted) listing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSet {
+    members: Vec<NodeId>,
+    bitmap: Vec<bool>,
+}
+
+impl FaultSet {
+    /// Build from an arbitrary list of node ids (duplicates are collapsed).
+    /// `n` is the number of nodes in the network.
+    pub fn new(n: usize, nodes: &[NodeId]) -> Self {
+        let mut bitmap = vec![false; n];
+        for &f in nodes {
+            assert!(f < n, "faulty node {f} out of range (n = {n})");
+            bitmap[f] = true;
+        }
+        let members = (0..n).filter(|&u| bitmap[u]).collect();
+        FaultSet { members, bitmap }
+    }
+
+    /// The empty fault set over `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        FaultSet {
+            members: Vec::new(),
+            bitmap: vec![false; n],
+        }
+    }
+
+    /// Sample a uniformly random fault set of exactly `size` nodes.
+    pub fn random<R: Rng + ?Sized>(n: usize, size: usize, rng: &mut R) -> Self {
+        assert!(size <= n, "cannot pick {size} faults among {n} nodes");
+        let mut ids: Vec<NodeId> = (0..n).collect();
+        ids.shuffle(rng);
+        ids.truncate(size);
+        FaultSet::new(n, &ids)
+    }
+
+    /// Whether node `u` is faulty.
+    #[inline]
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.bitmap[u]
+    }
+
+    /// The faulty nodes in ascending order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of faulty nodes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Network size this set was built over.
+    pub fn universe(&self) -> usize {
+        self.bitmap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_dedups_and_sorts() {
+        let f = FaultSet::new(10, &[7, 2, 7, 5]);
+        assert_eq!(f.members(), &[2, 5, 7]);
+        assert_eq!(f.len(), 3);
+        assert!(f.contains(2) && f.contains(5) && f.contains(7));
+        assert!(!f.contains(3));
+    }
+
+    #[test]
+    fn empty_set() {
+        let f = FaultSet::empty(4);
+        assert!(f.is_empty());
+        assert_eq!(f.universe(), 4);
+    }
+
+    #[test]
+    fn random_has_exact_size_and_range() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for size in 0..=8 {
+            let f = FaultSet::random(32, size, &mut rng);
+            assert_eq!(f.len(), size);
+            for &m in f.members() {
+                assert!(m < 32);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        FaultSet::new(3, &[3]);
+    }
+}

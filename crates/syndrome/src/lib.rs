@@ -1,0 +1,26 @@
+//! # mmdiag-syndrome
+//!
+//! The comparison (MM) diagnosis model machinery for the `mmdiag`
+//! workspace: fault sets, test semantics, and syndrome representations.
+//!
+//! * [`fault::FaultSet`] — planted fault sets;
+//! * [`model`] — MM-model test semantics ([`model::ground_truth`]) and the
+//!   adversarial faulty-tester conventions ([`model::TesterBehavior`]);
+//! * [`source::SyndromeSource`] — how algorithms read syndromes, with
+//!   lookup accounting ([`source::Counting`]);
+//! * [`table::SyndromeTable`] — the fully materialised syndrome (what
+//!   Chiang–Tan-style algorithms consume);
+//! * [`oracle::OracleSyndrome`] — the lazy per-test oracle (what
+//!   `Set_Builder` drives, §6's minimise-the-tests setting).
+
+pub mod fault;
+pub mod model;
+pub mod oracle;
+pub mod source;
+pub mod table;
+
+pub use fault::FaultSet;
+pub use model::{behavior_sweep, ground_truth, TestResult, TesterBehavior};
+pub use oracle::OracleSyndrome;
+pub use source::{Counting, SyndromeSource};
+pub use table::SyndromeTable;

@@ -1,0 +1,110 @@
+//! The [`SyndromeSource`] abstraction: how diagnosis algorithms read test
+//! results.
+//!
+//! The paper's input is *a syndrome* — a table of results, one per
+//! (tester, neighbour-pair) triple. §6 argues that `Set_Builder` consults
+//! far fewer entries than the whole table, so the access interface matters:
+//! algorithms pull individual entries through [`SyndromeSource::lookup`],
+//! and [`SyndromeSource::lookups`] exposes how many entries were consulted
+//! (experiment CMP-CT / LOOKUP).
+
+use crate::model::TestResult;
+use mmdiag_topology::NodeId;
+
+/// Read access to a syndrome `s`.
+///
+/// `lookup(u, v, w)` returns `s_u(v, w)` and must be symmetric in
+/// `(v, w)`. Callers guarantee that `v` and `w` are distinct neighbours of
+/// `u` in the underlying topology; implementations may panic otherwise.
+pub trait SyndromeSource {
+    /// Read `s_u(v, w)`.
+    fn lookup(&self, u: NodeId, v: NodeId, w: NodeId) -> TestResult;
+
+    /// Number of entries consulted so far (0 for non-counting sources).
+    fn lookups(&self) -> u64 {
+        0
+    }
+
+    /// Reset the lookup counter (no-op for non-counting sources).
+    fn reset_lookups(&self) {}
+}
+
+impl<S: SyndromeSource + ?Sized> SyndromeSource for &S {
+    fn lookup(&self, u: NodeId, v: NodeId, w: NodeId) -> TestResult {
+        (**self).lookup(u, v, w)
+    }
+    fn lookups(&self) -> u64 {
+        (**self).lookups()
+    }
+    fn reset_lookups(&self) {
+        (**self).reset_lookups()
+    }
+}
+
+/// A counting adaptor: wraps any source and tallies every lookup in an
+/// atomic counter (so parallel probes can share it).
+pub struct Counting<S> {
+    inner: S,
+    count: std::sync::atomic::AtomicU64,
+}
+
+impl<S: SyndromeSource> Counting<S> {
+    /// Wrap `inner` with a fresh counter.
+    pub fn new(inner: S) -> Self {
+        Counting {
+            inner,
+            count: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: SyndromeSource> SyndromeSource for Counting<S> {
+    fn lookup(&self, u: NodeId, v: NodeId, w: NodeId) -> TestResult {
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.lookup(u, v, w)
+    }
+    fn lookups(&self) -> u64 {
+        self.count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn reset_lookups(&self) {
+        self.count.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstSource(TestResult);
+    impl SyndromeSource for ConstSource {
+        fn lookup(&self, _u: NodeId, _v: NodeId, _w: NodeId) -> TestResult {
+            self.0
+        }
+    }
+
+    #[test]
+    fn counting_tallies_and_resets() {
+        let c = Counting::new(ConstSource(TestResult::Agree));
+        assert_eq!(c.lookups(), 0);
+        for _ in 0..5 {
+            assert!(c.lookup(0, 1, 2).is_agree());
+        }
+        assert_eq!(c.lookups(), 5);
+        c.reset_lookups();
+        assert_eq!(c.lookups(), 0);
+    }
+
+    #[test]
+    fn reference_forwarding_counts_on_original() {
+        let c = Counting::new(ConstSource(TestResult::Disagree));
+        let r = &c;
+        r.lookup(0, 1, 2);
+        assert_eq!(c.lookups(), 1);
+    }
+}

@@ -1,0 +1,344 @@
+//! Generic graph algorithms used by the diagnosis machinery and the
+//! verification test-suite: BFS, connectivity, articulation checks and an
+//! exact vertex-connectivity computation (Menger via vertex-capacitated
+//! max-flow) for validating the `κ ≥ δ` hypothesis of Theorem 1 on small
+//! instances of every family.
+
+use crate::graph::{NodeId, Topology};
+
+/// Breadth-first search from `src`, returning the visit order.
+pub fn bfs_order<T: Topology + ?Sized>(g: &T, src: NodeId) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    let mut buf = Vec::new();
+    seen[src] = true;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        g.neighbors_into(u, &mut buf);
+        for &v in &buf {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// BFS distances from `src`; `usize::MAX` marks unreachable nodes.
+pub fn bfs_distances<T: Topology + ?Sized>(g: &T, src: NodeId) -> Vec<usize> {
+    let n = g.node_count();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut buf = Vec::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        g.neighbors_into(u, &mut buf);
+        for &v in &buf {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the graph is connected (vacuously true for the empty graph).
+pub fn is_connected<T: Topology + ?Sized>(g: &T) -> bool {
+    let n = g.node_count();
+    n == 0 || bfs_order(g, 0).len() == n
+}
+
+/// Whether the subgraph induced on `V \ removed` is connected.
+///
+/// Used to check the articulation-set dichotomy of §4.1: the neighbour set
+/// `N(U_r)` either disconnects the graph or covers everything outside `U_r`.
+pub fn is_connected_excluding<T: Topology + ?Sized>(g: &T, removed: &[NodeId]) -> bool {
+    let n = g.node_count();
+    let mut blocked = vec![false; n];
+    for &r in removed {
+        blocked[r] = true;
+    }
+    let Some(src) = (0..n).find(|&u| !blocked[u]) else {
+        return true;
+    };
+    let mut seen = vec![false; n];
+    let mut stack = vec![src];
+    let mut count = 0usize;
+    let mut buf = Vec::new();
+    seen[src] = true;
+    while let Some(u) = stack.pop() {
+        count += 1;
+        g.neighbors_into(u, &mut buf);
+        for &v in &buf {
+            if !seen[v] && !blocked[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    count == n - removed.len()
+}
+
+/// Connected components as a label vector (labels are `0..k`, assigned in
+/// ascending order of the smallest node in each component).
+pub fn components<T: Topology + ?Sized>(g: &T) -> Vec<usize> {
+    let n = g.node_count();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut buf = Vec::new();
+    for s in 0..n {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![s];
+        label[s] = next;
+        while let Some(u) = stack.pop() {
+            g.neighbors_into(u, &mut buf);
+            for &v in &buf {
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// The eccentricity-based diameter of a connected graph (exact; `O(N·M)`).
+pub fn diameter<T: Topology + ?Sized>(g: &T) -> usize {
+    let mut best = 0;
+    for u in 0..g.node_count() {
+        let d = bfs_distances(g, u);
+        for &x in &d {
+            if x != usize::MAX {
+                best = best.max(x);
+            }
+        }
+    }
+    best
+}
+
+/// Exact vertex connectivity `κ(G)` via Menger's theorem.
+///
+/// Computes, for a fixed node `s` of minimum degree and every non-neighbour
+/// `t` (plus all pairs of non-adjacent neighbours handled by the standard
+/// `min over s ∪ N(s)` reduction), the maximum number of internally
+/// node-disjoint `s`–`t` paths using vertex-splitting max-flow. Intended for
+/// the verification suite on instances up to a few thousand nodes — not for
+/// production-path use.
+pub fn vertex_connectivity<T: Topology + ?Sized>(g: &T) -> usize {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0;
+    }
+    if !is_connected(g) {
+        return 0;
+    }
+    // Complete graph: κ = n - 1.
+    let min_deg = g.min_degree();
+    if min_deg == n - 1 {
+        return n - 1;
+    }
+    let mut kappa = usize::MAX;
+    // Standard scheme: pick a minimum-degree vertex s; κ = min over
+    // max-flow(s, t) for all t not adjacent to s, and max-flow(x, y) for
+    // x ∈ N(s) and suitable y. A simpler (still correct, if slower) variant:
+    // fix s of min degree, try all non-adjacent t; then repeat with every
+    // neighbour of s as source against its own non-neighbours.
+    let s = (0..n).min_by_key(|&u| g.degree(u)).unwrap();
+    let mut sources = vec![s];
+    sources.extend(g.neighbors(s));
+    for &src in &sources {
+        let nbrs = g.neighbors(src);
+        for t in 0..n {
+            if t == src || nbrs.contains(&t) {
+                continue;
+            }
+            kappa = kappa.min(max_vertex_disjoint_paths(g, src, t));
+            if kappa == min_deg.min(kappa) && kappa == 0 {
+                return 0;
+            }
+        }
+    }
+    kappa.min(min_deg)
+}
+
+/// Maximum number of internally node-disjoint paths between non-adjacent
+/// `s` and `t` (vertex-splitting max-flow with unit capacities, BFS
+/// augmentation).
+pub fn max_vertex_disjoint_paths<T: Topology + ?Sized>(g: &T, s: NodeId, t: NodeId) -> usize {
+    assert_ne!(s, t);
+    let n = g.node_count();
+    // Split every node u into u_in (2u) and u_out (2u+1); arc u_in -> u_out
+    // has capacity 1 (infinite for s and t). Every edge (u,v) becomes arcs
+    // u_out -> v_in and v_out -> u_in with capacity 1 (effectively infinite
+    // given the node capacities).
+    #[derive(Clone)]
+    struct Arc {
+        to: usize,
+        cap: u32,
+        rev: usize,
+    }
+    let mut adj: Vec<Vec<Arc>> = vec![Vec::new(); 2 * n];
+    let add_arc = |adj: &mut Vec<Vec<Arc>>, a: usize, b: usize, cap: u32| {
+        let ra = adj[b].len();
+        let rb = adj[a].len();
+        adj[a].push(Arc { to: b, cap, rev: ra });
+        adj[b].push(Arc {
+            to: a,
+            cap: 0,
+            rev: rb,
+        });
+    };
+    for u in 0..n {
+        let cap = if u == s || u == t { u32::MAX / 2 } else { 1 };
+        add_arc(&mut adj, 2 * u, 2 * u + 1, cap);
+    }
+    let mut buf = Vec::new();
+    for u in 0..n {
+        g.neighbors_into(u, &mut buf);
+        for &v in &buf {
+            // Each undirected edge visited twice; add each direction once.
+            add_arc(&mut adj, 2 * u + 1, 2 * v, 1);
+        }
+    }
+    let src = 2 * s + 1;
+    let dst = 2 * t;
+    // Edmonds–Karp. Flow values are ≤ Δ, so the loop count is small.
+    let mut flow = 0usize;
+    loop {
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; 2 * n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(src);
+        prev[src] = Some((src, usize::MAX));
+        while let Some(u) = queue.pop_front() {
+            if u == dst {
+                break;
+            }
+            for (i, a) in adj[u].iter().enumerate() {
+                if a.cap > 0 && prev[a.to].is_none() {
+                    prev[a.to] = Some((u, i));
+                    queue.push_back(a.to);
+                }
+            }
+        }
+        if prev[dst].is_none() {
+            break;
+        }
+        // Unit capacities on node arcs -> augment by 1.
+        let mut v = dst;
+        while v != src {
+            let (u, i) = prev[v].unwrap();
+            adj[u][i].cap -= 1;
+            let rev = adj[u][i].rev;
+            adj[v][rev].cap += 1;
+            v = u;
+        }
+        flow += 1;
+    }
+    flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::AdjGraph;
+
+    fn cycle(n: usize) -> AdjGraph {
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        AdjGraph::from_edges(n, &edges, format!("C{n}"))
+    }
+
+    fn complete(n: usize) -> AdjGraph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j));
+            }
+        }
+        AdjGraph::from_edges(n, &edges, format!("K{n}"))
+    }
+
+    #[test]
+    fn bfs_visits_everything_once() {
+        let g = cycle(7);
+        let order = bfs_order(&g, 3);
+        assert_eq!(order.len(), 7);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+        assert_eq!(order[0], 3);
+    }
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = cycle(8);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[4], 4);
+        assert_eq!(d[7], 1);
+        assert_eq!(d[0], 0);
+    }
+
+    #[test]
+    fn connectivity_of_cycle_is_two() {
+        let g = cycle(9);
+        assert!(is_connected(&g));
+        assert_eq!(vertex_connectivity(&g), 2);
+    }
+
+    #[test]
+    fn connectivity_of_complete_graph() {
+        assert_eq!(vertex_connectivity(&complete(5)), 4);
+    }
+
+    #[test]
+    fn connectivity_of_path_is_one() {
+        let g = AdjGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], "P4");
+        assert_eq!(vertex_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = AdjGraph::from_edges(4, &[(0, 1), (2, 3)], "2xP2");
+        assert!(!is_connected(&g));
+        assert_eq!(vertex_connectivity(&g), 0);
+        let labels = components(&g);
+        assert_eq!(labels, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn excluding_articulation_point_disconnects() {
+        // 0-1-2 path: removing 1 disconnects.
+        let g = AdjGraph::from_edges(3, &[(0, 1), (1, 2)], "P3");
+        assert!(!is_connected_excluding(&g, &[1]));
+        assert!(is_connected_excluding(&g, &[0]));
+        assert!(is_connected_excluding(&g, &[]));
+    }
+
+    #[test]
+    fn excluding_all_nodes_is_vacuously_connected() {
+        let g = AdjGraph::from_edges(2, &[(0, 1)], "P2");
+        assert!(is_connected_excluding(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn disjoint_paths_grid_corner() {
+        // 2x2 grid: opposite corners are joined by 2 disjoint paths.
+        let g = AdjGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], "grid22");
+        assert_eq!(max_vertex_disjoint_paths(&g, 0, 3), 2);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        assert_eq!(diameter(&cycle(8)), 4);
+        assert_eq!(diameter(&cycle(9)), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! The fourteen interconnection-network families of §5 of the paper.
+//!
+//! Bit-string families (node = an `n`-bit string, id = the string read as an
+//! integer, component `u_i` = bit `i`, "first" components = the high bits):
+//! [`hypercube`], [`crossed_cube`], [`twisted_cube`], [`folded_hypercube`],
+//! [`enhanced_hypercube`], [`augmented_cube`], [`shuffle_cube`],
+//! [`twisted_n_cube`].
+//!
+//! Radix-`k` families (node = `n` digits base `k`): [`kary`],
+//! [`augmented_kary`].
+//!
+//! Permutation families (node = lexicographic rank of a (partial)
+//! permutation of `1..=n`): [`star`], [`nk_star`], [`pancake`],
+//! [`arrangement`].
+//!
+//! Every family implements [`crate::graph::Topology`] with arithmetic
+//! adjacency (no stored edges) and [`crate::partition::Partitionable`] with
+//! the exact decomposition the paper uses for it in §5.
+
+pub mod arrangement;
+pub mod augmented_cube;
+pub mod augmented_kary;
+pub mod crossed_cube;
+pub mod enhanced_hypercube;
+pub mod folded_hypercube;
+pub mod hypercube;
+pub mod kary;
+pub mod nk_star;
+pub mod pancake;
+pub mod shuffle_cube;
+pub mod star;
+pub mod twisted_cube;
+pub mod twisted_n_cube;
+
+pub use arrangement::Arrangement;
+pub use augmented_cube::AugmentedCube;
+pub use augmented_kary::AugmentedKAryNCube;
+pub use crossed_cube::CrossedCube;
+pub use enhanced_hypercube::EnhancedHypercube;
+pub use folded_hypercube::FoldedHypercube;
+pub use hypercube::Hypercube;
+pub use kary::KAryNCube;
+pub use nk_star::NKStar;
+pub use pancake::Pancake;
+pub use shuffle_cube::ShuffleCube;
+pub use star::StarGraph;
+pub use twisted_cube::TwistedCube;
+pub use twisted_n_cube::TwistedNCube;
+
+/// Choose the minimal subcube dimension `m` for a prefix decomposition of a
+/// base-`radix`, dimension-`n` family such that a part has more than
+/// `bound + 1` nodes (`radix^m > bound + 1`), together with the companion
+/// requirement that the number of parts (`radix^{n−m}`) exceeds `bound`.
+/// Returns `None` if no `m < n` satisfies both.
+///
+/// §5.1/§5.2 of the paper ask only for `radix^m > bound`, but that is one
+/// node short at the boundary: a tree spanning a part of `bound + 1` nodes
+/// has at most `bound` internal nodes, so `Set_Builder`'s certificate
+/// `|C_1 ∪ … ∪ C_i| > δ` can never fire inside it (e.g. `Q_7` with
+/// `m = 3`: 8-node parts, δ = 7). Requiring one extra node repairs the
+/// argument without changing any non-boundary case.
+pub fn minimal_partition_dim(radix: usize, n: usize, bound: usize) -> Option<usize> {
+    let mut m = 1;
+    let mut size = radix;
+    while size <= bound + 1 {
+        m += 1;
+        size = size.checked_mul(radix)?;
+        if m >= n {
+            return None;
+        }
+    }
+    // number of parts must exceed the bound as well
+    let mut parts = 1usize;
+    for _ in 0..(n - m) {
+        parts = parts.checked_mul(radix)?;
+    }
+    (parts > bound).then_some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::minimal_partition_dim;
+
+    #[test]
+    fn hypercube_dims_match_paper() {
+        // §5.1 asks for m minimal with 2^m > n; we require 2^m > n + 1
+        // (see the doc comment), which only moves the boundary case n = 7.
+        assert_eq!(minimal_partition_dim(2, 7, 7), Some(4));
+        assert_eq!(minimal_partition_dim(2, 8, 8), Some(4));
+        assert_eq!(minimal_partition_dim(2, 10, 10), Some(4));
+        // n = 5: no m gives both big parts and enough parts.
+        assert_eq!(minimal_partition_dim(2, 5, 5), None);
+    }
+
+    #[test]
+    fn kary_dims_match_paper() {
+        // §5.2: m minimal with k^m > 2n.
+        assert_eq!(minimal_partition_dim(3, 6, 12), Some(3));
+        assert_eq!(minimal_partition_dim(4, 4, 8), Some(2));
+        // (3,5): 3^3 = 27 > 10 but only 3^2 = 9 ≤ 10 parts -> unusable.
+        assert_eq!(minimal_partition_dim(3, 5, 10), None);
+        // excluded case (k,n) = (3,3): 3^2 > 6 but 3^1 = 3 ≤ 6 parts.
+        assert_eq!(minimal_partition_dim(3, 3, 6), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! The (n,k)-star graph `S_{n,k}` (Chiang & Chen [9]).
+//!
+//! Nodes are the `n!/(n−k)!` k-permutations `(p_1, …, p_k)` of `1..=n`
+//! (numbered by lexicographic rank). Two kinds of edges:
+//!
+//! * *i-edges*: swap `p_1` with `p_i` for `i ∈ {2, …, k}` (`k − 1`
+//!   neighbours);
+//! * *1-edges*: replace `p_1` with any of the `n − k` symbols not present
+//!   in the permutation.
+//!
+//! Degree `n − 1`; connectivity `n − 1` [9]; diagnosability `n − 1` for
+//! `(n,k) ≠ (3,2)` (via [6]). `S_{n,n−1} ≅ S_n` and `S_{n,1} = K_n`.
+//!
+//! §5.2's decomposition: fixing the k-th component partitions `S_{n,k}`
+//! into `n` induced copies of `S_{n−1,k−1}`. Note the paper's size remark
+//! is tight: for `k = 2` the parts are cliques `K_{n−1}` with exactly
+//! `n − 1 = δ` nodes, which is *not* "more than δ" — the driver's
+//! precondition check rejects `k = 2`, and `k ≥ 3` is required in
+//! practice.
+
+use crate::graph::{NodeId, Topology};
+use crate::partition::Partitionable;
+use crate::perm::{falling_factorial, rank_kperm, unrank_kperm};
+
+/// The (n,k)-star `S_{n,k}` with the k-th-component decomposition.
+#[derive(Clone, Debug)]
+pub struct NKStar {
+    n: usize,
+    k: usize,
+}
+
+impl NKStar {
+    /// Build `S_{n,k}` (`2 ≤ k ≤ n−1`, `n ≤ 12`).
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n <= 12, "(n,k)-star supported for n ≤ 12");
+        assert!(
+            k >= 2 && k < n,
+            "(n,k)-star needs 2 ≤ k ≤ n−1 (k=1 is a clique, k=n−1 the star graph)"
+        );
+        NKStar { n, k }
+    }
+
+    /// Symbol-set size `n`.
+    pub fn symbols(&self) -> usize {
+        self.n
+    }
+
+    /// Permutation length `k`.
+    pub fn positions(&self) -> usize {
+        self.k
+    }
+}
+
+impl Topology for NKStar {
+    fn node_count(&self) -> usize {
+        falling_factorial(self.n, self.k)
+    }
+    fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let mut perm = Vec::with_capacity(self.k);
+        unrank_kperm(u, self.n, self.k, &mut perm);
+        // i-edges.
+        for i in 1..self.k {
+            perm.swap(0, i);
+            out.push(rank_kperm(&perm, self.n));
+            perm.swap(0, i);
+        }
+        // 1-edges: p_1 <- any unused symbol.
+        let mut used = [false; 17];
+        for &p in &perm {
+            used[p as usize] = true;
+        }
+        let old = perm[0];
+        for s in 1..=self.n as u8 {
+            if !used[s as usize] {
+                perm[0] = s;
+                out.push(rank_kperm(&perm, self.n));
+            }
+        }
+        perm[0] = old;
+    }
+    fn degree(&self, _u: NodeId) -> usize {
+        self.n - 1
+    }
+    fn max_degree(&self) -> usize {
+        self.n - 1
+    }
+    fn min_degree(&self) -> usize {
+        self.n - 1
+    }
+    fn diagnosability(&self) -> usize {
+        self.n - 1
+    }
+    fn connectivity(&self) -> usize {
+        self.n - 1
+    }
+    fn name(&self) -> String {
+        format!("S_({},{})", self.n, self.k)
+    }
+}
+
+impl Partitionable for NKStar {
+    fn part_count(&self) -> usize {
+        self.n
+    }
+    fn part_of(&self, u: NodeId) -> usize {
+        let mut perm = Vec::with_capacity(self.k);
+        unrank_kperm(u, self.n, self.k, &mut perm);
+        (perm[self.k - 1] - 1) as usize
+    }
+    fn representative(&self, part: usize) -> NodeId {
+        let c = (part + 1) as u8;
+        let mut perm: Vec<u8> = (1..=self.n as u8)
+            .filter(|&x| x != c)
+            .take(self.k - 1)
+            .collect();
+        perm.push(c);
+        rank_kperm(&perm, self.n)
+    }
+    fn part_size(&self, _part: usize) -> usize {
+        falling_factorial(self.n - 1, self.k - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::AdjGraph;
+    use crate::partition::validate_partition;
+    use crate::verify::assert_family_structure;
+
+    #[test]
+    fn s42_structure() {
+        // 12 nodes, 3-regular, κ = 3.
+        assert_family_structure(&NKStar::new(4, 2), 12, 3, true);
+    }
+
+    #[test]
+    fn s52_s53_structure() {
+        assert_family_structure(&NKStar::new(5, 2), 20, 4, true);
+        assert_family_structure(&NKStar::new(5, 3), 60, 4, true);
+    }
+
+    #[test]
+    fn s_n_nminus1_is_star_graph() {
+        use crate::families::star::StarGraph;
+        // S_{4,3} ≅ S_4. The lexicographic ranks differ, so compare as
+        // graphs via the canonical map (k-perm -> full perm by appending
+        // the missing symbol).
+        let nk = NKStar::new(4, 3);
+        let s = StarGraph::new(4);
+        assert_eq!(nk.node_count(), s.node_count());
+        let map = |u: usize| -> usize {
+            let mut perm = Vec::new();
+            unrank_kperm(u, 4, 3, &mut perm);
+            let missing = (1u8..=4).find(|s| !perm.contains(s)).unwrap();
+            perm.push(missing);
+            crate::perm::rank_perm(&perm, 4)
+        };
+        let ga = AdjGraph::from_topology(&nk);
+        let gs = AdjGraph::from_topology(&s);
+        for u in 0..ga.node_count() {
+            let mut img: Vec<_> = ga.neighbors(u).into_iter().map(map).collect();
+            img.sort_unstable();
+            let mut want = gs.neighbors(map(u));
+            want.sort_unstable();
+            assert_eq!(img, want, "u={u}");
+        }
+    }
+
+    #[test]
+    fn one_edges_replace_first_symbol() {
+        let g = NKStar::new(5, 2);
+        // node (1,2): i-edge -> (2,1); 1-edges -> (3,2),(4,2),(5,2).
+        let u = rank_kperm(&[1, 2], 5);
+        let nb = g.neighbors(u);
+        assert_eq!(nb.len(), 4);
+        assert!(nb.contains(&rank_kperm(&[2, 1], 5)));
+        assert!(nb.contains(&rank_kperm(&[3, 2], 5)));
+        assert!(nb.contains(&rank_kperm(&[4, 2], 5)));
+        assert!(nb.contains(&rank_kperm(&[5, 2], 5)));
+    }
+
+    #[test]
+    fn kth_component_partition() {
+        let g = NKStar::new(6, 3);
+        validate_partition(&g).unwrap();
+        assert_eq!(g.part_count(), 6);
+        assert_eq!(g.part_size(2), 20);
+        g.check_partition_preconditions().unwrap();
+    }
+
+    #[test]
+    fn k2_fails_partition_preconditions() {
+        // Parts are K_{n−1}: exactly δ nodes, not more.
+        let g = NKStar::new(5, 2);
+        assert!(g.check_partition_preconditions().is_err());
+    }
+}

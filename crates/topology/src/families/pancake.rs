@@ -1,0 +1,169 @@
+//! The pancake graph `P_n` (Akers & Krishnamurthy [2]).
+//!
+//! Nodes are the `n!` permutations of `1..=n`; `u ∼ v` iff `v` is obtained
+//! from `u` by reversing a prefix of length `l ∈ {2, …, n}`. `P_n` is
+//! `(n−1)`-regular with connectivity `n − 1` [2] and, for `n ≥ 4`,
+//! diagnosability `n − 1` (via [6]).
+//!
+//! §5.2's decomposition: fixing the last symbol partitions `P_n` into `n`
+//! induced copies of `P_{n−1}` (prefix reversals of length `< n` never
+//! move position `n`).
+
+use crate::graph::{NodeId, Topology};
+use crate::partition::Partitionable;
+use crate::perm::{factorial, rank_perm, unrank_perm};
+
+/// The pancake graph `P_n` with the last-symbol decomposition.
+#[derive(Clone, Debug)]
+pub struct Pancake {
+    n: usize,
+}
+
+impl Pancake {
+    /// Build `P_n` (`2 ≤ n ≤ 12`).
+    pub fn new(n: usize) -> Self {
+        assert!((2..=12).contains(&n), "pancake graph supported for 2 ≤ n ≤ 12");
+        Pancake { n }
+    }
+
+    /// Symbol-set size `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+impl Topology for Pancake {
+    fn node_count(&self) -> usize {
+        factorial(self.n)
+    }
+    fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let mut perm = Vec::with_capacity(self.n);
+        unrank_perm(u, self.n, &mut perm);
+        for l in 2..=self.n {
+            perm[..l].reverse();
+            out.push(rank_perm(&perm, self.n));
+            perm[..l].reverse();
+        }
+    }
+    fn degree(&self, _u: NodeId) -> usize {
+        self.n - 1
+    }
+    fn max_degree(&self) -> usize {
+        self.n - 1
+    }
+    fn min_degree(&self) -> usize {
+        self.n - 1
+    }
+    fn diagnosability(&self) -> usize {
+        self.n - 1
+    }
+    fn connectivity(&self) -> usize {
+        self.n - 1
+    }
+    fn name(&self) -> String {
+        format!("P_{}", self.n)
+    }
+}
+
+impl Partitionable for Pancake {
+    fn part_count(&self) -> usize {
+        self.n
+    }
+    fn part_of(&self, u: NodeId) -> usize {
+        let mut perm = Vec::with_capacity(self.n);
+        unrank_perm(u, self.n, &mut perm);
+        (perm[self.n - 1] - 1) as usize
+    }
+    fn representative(&self, part: usize) -> NodeId {
+        let c = (part + 1) as u8;
+        let mut perm: Vec<u8> = (1..=self.n as u8).filter(|&x| x != c).collect();
+        perm.push(c);
+        rank_perm(&perm, self.n)
+    }
+    fn part_size(&self, _part: usize) -> usize {
+        factorial(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::validate_partition;
+    use crate::verify::assert_family_structure;
+
+    #[test]
+    fn p3_is_c6() {
+        assert_family_structure(&Pancake::new(3), 6, 2, true);
+    }
+
+    #[test]
+    fn p4_structure() {
+        assert_family_structure(&Pancake::new(4), 24, 3, true);
+    }
+
+    #[test]
+    fn p5_structure() {
+        assert_family_structure(&Pancake::new(5), 120, 4, true);
+    }
+
+    #[test]
+    fn prefix_reversals() {
+        let g = Pancake::new(4);
+        // identity -> [2,1,3,4], [3,2,1,4], [4,3,2,1]
+        let nb = g.neighbors(0);
+        let mut perms = Vec::new();
+        let mut buf = Vec::new();
+        for v in nb {
+            unrank_perm(v, 4, &mut buf);
+            perms.push(buf.clone());
+        }
+        assert!(perms.contains(&vec![2, 1, 3, 4]));
+        assert!(perms.contains(&vec![3, 2, 1, 4]));
+        assert!(perms.contains(&vec![4, 3, 2, 1]));
+    }
+
+    #[test]
+    fn pancake_has_odd_cycles_for_n_ge_3() {
+        // Unlike the star graph, P_n is not bipartite (prefix reversals of
+        // length 3 are even permutations, length 2 odd — mixing parities
+        // only rules out the obvious 2-colouring; check directly).
+        let g = Pancake::new(4);
+        let mut colour = vec![u8::MAX; g.node_count()];
+        let mut stack = vec![0usize];
+        colour[0] = 0;
+        let mut bipartite = true;
+        while let Some(u) = stack.pop() {
+            for v in g.neighbors(u) {
+                if colour[v] == u8::MAX {
+                    colour[v] = colour[u] ^ 1;
+                    stack.push(v);
+                } else if colour[v] == colour[u] {
+                    bipartite = false;
+                }
+            }
+        }
+        assert!(!bipartite);
+    }
+
+    #[test]
+    fn last_symbol_partition() {
+        let g = Pancake::new(5);
+        validate_partition(&g).unwrap();
+        assert_eq!(g.part_count(), 5);
+        assert_eq!(g.part_size(0), 24);
+        g.check_partition_preconditions().unwrap();
+    }
+
+    #[test]
+    fn only_full_reversal_crosses_parts() {
+        let g = Pancake::new(5);
+        let mut perm = Vec::new();
+        for u in (0..g.node_count()).step_by(7) {
+            unrank_perm(u, 5, &mut perm);
+            let nb = g.neighbors(u);
+            let crossing = nb.iter().filter(|&&v| g.part_of(v) != g.part_of(u)).count();
+            assert_eq!(crossing, 1, "u={perm:?}");
+        }
+    }
+}

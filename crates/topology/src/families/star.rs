@@ -1,0 +1,159 @@
+//! The star graph `S_n` (Akers, Harel & Krishnamurthy [1]).
+//!
+//! Nodes are the `n!` permutations of `1..=n` (numbered by lexicographic
+//! rank); `u ∼ v` iff `v` is obtained from `u` by swapping the first symbol
+//! with the symbol in some position `i ∈ {2, …, n}`. `S_n` is
+//! `(n−1)`-regular with connectivity `n − 1` [2] and, for `n ≥ 4`,
+//! diagnosability `n − 1` (Zheng et al. [28]).
+//!
+//! §5.2's decomposition (via `S_n ≅ S_{n,n−1}`): fixing the *last* symbol
+//! partitions `S_n` into `n` induced copies of `S_{n−1}`.
+
+use crate::graph::{NodeId, Topology};
+use crate::partition::Partitionable;
+use crate::perm::{factorial, rank_perm, unrank_perm};
+
+/// The star graph `S_n` with the last-symbol decomposition.
+#[derive(Clone, Debug)]
+pub struct StarGraph {
+    n: usize,
+}
+
+impl StarGraph {
+    /// Build `S_n` (`2 ≤ n ≤ 12`; `12! ≈ 4.8·10⁸` is the enumeration
+    /// ceiling).
+    pub fn new(n: usize) -> Self {
+        assert!((2..=12).contains(&n), "star graph supported for 2 ≤ n ≤ 12");
+        StarGraph { n }
+    }
+
+    /// Symbol-set size `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+impl Topology for StarGraph {
+    fn node_count(&self) -> usize {
+        factorial(self.n)
+    }
+    fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let mut perm = Vec::with_capacity(self.n);
+        unrank_perm(u, self.n, &mut perm);
+        for i in 1..self.n {
+            perm.swap(0, i);
+            out.push(rank_perm(&perm, self.n));
+            perm.swap(0, i);
+        }
+    }
+    fn degree(&self, _u: NodeId) -> usize {
+        self.n - 1
+    }
+    fn max_degree(&self) -> usize {
+        self.n - 1
+    }
+    fn min_degree(&self) -> usize {
+        self.n - 1
+    }
+    fn diagnosability(&self) -> usize {
+        self.n - 1
+    }
+    fn connectivity(&self) -> usize {
+        self.n - 1
+    }
+    fn name(&self) -> String {
+        format!("S_{}", self.n)
+    }
+}
+
+impl Partitionable for StarGraph {
+    fn part_count(&self) -> usize {
+        self.n
+    }
+    fn part_of(&self, u: NodeId) -> usize {
+        let mut perm = Vec::with_capacity(self.n);
+        unrank_perm(u, self.n, &mut perm);
+        (perm[self.n - 1] - 1) as usize
+    }
+    fn representative(&self, part: usize) -> NodeId {
+        // Smallest permutation ending in symbol `part + 1`.
+        let c = (part + 1) as u8;
+        let mut perm: Vec<u8> = (1..=self.n as u8).filter(|&x| x != c).collect();
+        perm.push(c);
+        rank_perm(&perm, self.n)
+    }
+    fn part_size(&self, _part: usize) -> usize {
+        factorial(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::validate_partition;
+    use crate::verify::assert_family_structure;
+
+    #[test]
+    fn s3_is_c6() {
+        let g = StarGraph::new(3);
+        assert_family_structure(&g, 6, 2, true);
+        assert_eq!(crate::algorithms::diameter(&g), 3);
+    }
+
+    #[test]
+    fn s4_structure() {
+        // 24 nodes, 3-regular, κ = 3.
+        assert_family_structure(&StarGraph::new(4), 24, 3, true);
+    }
+
+    #[test]
+    fn s5_structure() {
+        assert_family_structure(&StarGraph::new(5), 120, 4, true);
+    }
+
+    #[test]
+    fn swaps_move_first_symbol() {
+        let g = StarGraph::new(4);
+        // identity [1,2,3,4] has rank 0; neighbours are [2,1,3,4],
+        // [3,2,1,4], [4,2,3,1].
+        let nb = g.neighbors(0);
+        let mut perms = Vec::new();
+        let mut buf = Vec::new();
+        for v in nb {
+            unrank_perm(v, 4, &mut buf);
+            perms.push(buf.clone());
+        }
+        assert!(perms.contains(&vec![2, 1, 3, 4]));
+        assert!(perms.contains(&vec![3, 2, 1, 4]));
+        assert!(perms.contains(&vec![4, 2, 3, 1]));
+    }
+
+    #[test]
+    fn star_is_bipartite() {
+        // Star graphs are bipartite (swaps are transpositions).
+        let g = StarGraph::new(4);
+        let mut colour = vec![u8::MAX; g.node_count()];
+        let mut stack = vec![0usize];
+        colour[0] = 0;
+        while let Some(u) = stack.pop() {
+            for v in g.neighbors(u) {
+                if colour[v] == u8::MAX {
+                    colour[v] = colour[u] ^ 1;
+                    stack.push(v);
+                } else {
+                    assert_ne!(colour[v], colour[u], "odd cycle in star graph");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_symbol_partition() {
+        let g = StarGraph::new(5);
+        validate_partition(&g).unwrap();
+        assert_eq!(g.part_count(), 5);
+        assert_eq!(g.part_size(0), 24);
+        g.check_partition_preconditions().unwrap();
+    }
+}

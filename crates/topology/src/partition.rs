@@ -1,0 +1,253 @@
+//! The decomposition hook used by the paper's general algorithm (§5).
+//!
+//! Theorem 1 turns `Set_Builder` into a complete diagnosis procedure as soon
+//! as the network can be *partitioned into enough sizeable connected
+//! subgraphs*: if the number of parts exceeds the fault bound, some part is
+//! entirely healthy, and running `Set_Builder` restricted to each part's
+//! representative in turn is guaranteed to find a certified-healthy seed.
+//!
+//! Every family in [`crate::families`] implements [`Partitionable`] with the
+//! exact decomposition the paper names for it (prefix-fixed subcubes for the
+//! hypercube-like families, last-symbol classes for the permutation
+//! families).
+
+use crate::graph::{NodeId, Topology};
+
+/// A topology equipped with the paper's canonical decomposition into
+/// node-disjoint connected subgraphs.
+pub trait Partitionable: Topology {
+    /// Number of parts in the decomposition.
+    fn part_count(&self) -> usize;
+
+    /// The part containing node `u`.
+    fn part_of(&self, u: NodeId) -> usize;
+
+    /// A designated seed node inside `part` — the `(v, 0, 0, …, 0)` node of
+    /// §5.1 for prefix decompositions.
+    fn representative(&self, part: usize) -> NodeId;
+
+    /// Number of nodes in `part`. Parts of the paper's decompositions are
+    /// equal-sized; the default divides evenly.
+    fn part_size(&self, part: usize) -> usize {
+        let _ = part;
+        self.node_count() / self.part_count()
+    }
+
+    /// The number of faults the partition-driven algorithm supports for this
+    /// instance.
+    ///
+    /// Usually equal to [`Topology::diagnosability`], but strictly smaller
+    /// when the paper says so: Theorem 7 diagnoses at most `n − 1` faults in
+    /// the arrangement graph `A_{n,k}` even though its diagnosability is
+    /// `k(n−k)`, because its decomposition only has `n` parts.
+    fn driver_fault_bound(&self) -> usize {
+        self.diagnosability()
+    }
+
+    /// Check the structural preconditions of the general algorithm for this
+    /// instance: more parts than the fault bound, and each part with more
+    /// than `bound + 1` nodes (a tree on `bound + 1` nodes has at most
+    /// `bound` internal nodes, so the all-healthy certificate could never
+    /// fire — see [`crate::families::minimal_partition_dim`]). Returns a
+    /// human-readable reason on failure.
+    fn check_partition_preconditions(&self) -> Result<(), String> {
+        let bound = self.driver_fault_bound();
+        let parts = self.part_count();
+        if parts <= bound {
+            return Err(format!(
+                "{}: {parts} parts is not more than the fault bound {bound}",
+                self.name()
+            ));
+        }
+        for p in 0..parts {
+            let sz = self.part_size(p);
+            if sz <= bound + 1 {
+                return Err(format!(
+                    "{}: part {p} has {sz} nodes; the certificate needs more than {} \
+                     so its spanning tree can exceed {bound} internal nodes",
+                    self.name(),
+                    bound + 1
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T: Partitionable + ?Sized> Partitionable for &T {
+    fn part_count(&self) -> usize {
+        (**self).part_count()
+    }
+    fn part_of(&self, u: NodeId) -> usize {
+        (**self).part_of(u)
+    }
+    fn representative(&self, part: usize) -> NodeId {
+        (**self).representative(part)
+    }
+    fn part_size(&self, part: usize) -> usize {
+        (**self).part_size(part)
+    }
+    fn driver_fault_bound(&self) -> usize {
+        (**self).driver_fault_bound()
+    }
+}
+
+/// Verify, by exhaustive scan, that a [`Partitionable`] implementation is a
+/// genuine partition: every node belongs to exactly one part, representatives
+/// lie in their own part, part sizes agree, and each part induces a connected
+/// subgraph. Used by the family test-suites.
+pub fn validate_partition<T: Partitionable + ?Sized>(g: &T) -> Result<(), String> {
+    let n = g.node_count();
+    let parts = g.part_count();
+    let mut sizes = vec![0usize; parts];
+    for u in 0..n {
+        let p = g.part_of(u);
+        if p >= parts {
+            return Err(format!("node {u} maps to out-of-range part {p}"));
+        }
+        sizes[p] += 1;
+    }
+    for p in 0..parts {
+        if sizes[p] != g.part_size(p) {
+            return Err(format!(
+                "part {p}: claimed size {} but counted {}",
+                g.part_size(p),
+                sizes[p]
+            ));
+        }
+        let rep = g.representative(p);
+        if rep >= n {
+            return Err(format!("representative {rep} of part {p} out of range"));
+        }
+        if g.part_of(rep) != p {
+            return Err(format!(
+                "representative {rep} of part {p} lies in part {}",
+                g.part_of(rep)
+            ));
+        }
+    }
+    // Connectivity of each induced part via restricted DFS.
+    let mut seen = vec![false; n];
+    let mut buf = Vec::new();
+    for p in 0..parts {
+        let rep = g.representative(p);
+        let mut stack = vec![rep];
+        let mut count = 0usize;
+        seen[rep] = true;
+        while let Some(u) = stack.pop() {
+            count += 1;
+            g.neighbors_into(u, &mut buf);
+            for &v in &buf {
+                if !seen[v] && g.part_of(v) == p {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        if count != sizes[p] {
+            return Err(format!(
+                "part {p} is disconnected: reached {count} of {} nodes",
+                sizes[p]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::AdjGraph;
+
+    /// Two disjoint triangles joined by a matching; parts = the triangles.
+    struct TwoTriangles {
+        g: AdjGraph,
+    }
+
+    impl TwoTriangles {
+        fn new() -> Self {
+            let edges = [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ];
+            TwoTriangles {
+                g: AdjGraph::from_edges(6, &edges, "2K3"),
+            }
+        }
+    }
+
+    impl Topology for TwoTriangles {
+        fn node_count(&self) -> usize {
+            self.g.node_count()
+        }
+        fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+            self.g.neighbors_into(u, out)
+        }
+        fn diagnosability(&self) -> usize {
+            1
+        }
+        fn name(&self) -> String {
+            "2K3".into()
+        }
+    }
+
+    impl Partitionable for TwoTriangles {
+        fn part_count(&self) -> usize {
+            2
+        }
+        fn part_of(&self, u: NodeId) -> usize {
+            u / 3
+        }
+        fn representative(&self, part: usize) -> usize {
+            part * 3
+        }
+    }
+
+    #[test]
+    fn valid_partition_passes() {
+        let t = TwoTriangles::new();
+        assert!(validate_partition(&t).is_ok());
+        assert!(t.check_partition_preconditions().is_ok());
+    }
+
+    struct BadRep(TwoTriangles);
+    impl Topology for BadRep {
+        fn node_count(&self) -> usize {
+            self.0.node_count()
+        }
+        fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+            self.0.neighbors_into(u, out)
+        }
+        fn diagnosability(&self) -> usize {
+            1
+        }
+        fn name(&self) -> String {
+            "bad".into()
+        }
+    }
+    impl Partitionable for BadRep {
+        fn part_count(&self) -> usize {
+            2
+        }
+        fn part_of(&self, u: NodeId) -> usize {
+            u / 3
+        }
+        fn representative(&self, _part: usize) -> usize {
+            0 // wrong for part 1
+        }
+    }
+
+    #[test]
+    fn misplaced_representative_is_rejected() {
+        let b = BadRep(TwoTriangles::new());
+        let err = validate_partition(&b).unwrap_err();
+        assert!(err.contains("representative"), "{err}");
+    }
+}

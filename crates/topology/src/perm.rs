@@ -1,0 +1,149 @@
+//! Ranking and unranking of permutations and k-permutations.
+//!
+//! The permutation-based families (star, (n,k)-star, pancake, arrangement
+//! graphs) number their nodes by the lexicographic rank of the defining
+//! (partial) permutation, so adjacency can be computed arithmetically
+//! without materialising the graph.
+//!
+//! Symbols are `1..=n` (matching the combinatorics literature); internally
+//! they are stored as `u8`, which comfortably covers every size a laptop can
+//! enumerate (`12! > 4·10⁸`).
+
+/// Maximum supported symbol-set size. `13!` overflows nothing on 64-bit but
+/// enumerating it is already hopeless, so 16 gives ample headroom.
+pub const MAX_N: usize = 16;
+
+/// `n!` as usize (n ≤ 20 on 64-bit).
+pub fn factorial(n: usize) -> usize {
+    (1..=n).product::<usize>().max(1)
+}
+
+/// Falling factorial `n·(n−1)·…·(n−k+1)` — the number of k-permutations of
+/// an n-set.
+pub fn falling_factorial(n: usize, k: usize) -> usize {
+    assert!(k <= n, "falling_factorial: k={k} > n={n}");
+    ((n - k + 1)..=n).product::<usize>().max(1)
+}
+
+/// Lexicographic rank of a k-permutation of symbols `1..=n`.
+///
+/// `perm` must contain `k` distinct values in `1..=n`. Ranks run
+/// `0..falling_factorial(n, k)` and order k-permutations lexicographically
+/// by their symbol sequence.
+pub fn rank_kperm(perm: &[u8], n: usize) -> usize {
+    let k = perm.len();
+    assert!(k <= n && n <= MAX_N);
+    let mut used = [false; MAX_N + 1];
+    let mut rank = 0usize;
+    for (i, &p) in perm.iter().enumerate() {
+        let p = p as usize;
+        debug_assert!((1..=n).contains(&p), "symbol {p} out of range 1..={n}");
+        debug_assert!(!used[p], "repeated symbol {p}");
+        // Count unused symbols smaller than p.
+        let smaller = (1..p).filter(|&q| !used[q]).count();
+        rank += smaller * falling_factorial(n - 1 - i, k - 1 - i);
+        used[p] = true;
+    }
+    rank
+}
+
+/// Inverse of [`rank_kperm`]: write the k-permutation with the given rank
+/// into `out` (resized to length `k`).
+pub fn unrank_kperm(mut rank: usize, n: usize, k: usize, out: &mut Vec<u8>) {
+    assert!(k <= n && n <= MAX_N);
+    debug_assert!(rank < falling_factorial(n, k));
+    out.clear();
+    let mut avail: Vec<u8> = (1..=n as u8).collect();
+    for i in 0..k {
+        let block = falling_factorial(n - 1 - i, k - 1 - i);
+        let idx = rank / block;
+        rank %= block;
+        out.push(avail.remove(idx));
+    }
+}
+
+/// Rank of a full permutation of `1..=n` (equivalent to
+/// `rank_kperm(perm, n)` with `k = n`).
+pub fn rank_perm(perm: &[u8], n: usize) -> usize {
+    assert_eq!(perm.len(), n);
+    rank_kperm(perm, n)
+}
+
+/// Inverse of [`rank_perm`].
+pub fn unrank_perm(rank: usize, n: usize, out: &mut Vec<u8>) {
+    unrank_kperm(rank, n, n, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(falling_factorial(5, 2), 20);
+        assert_eq!(falling_factorial(4, 4), 24);
+        assert_eq!(falling_factorial(7, 0), 1);
+    }
+
+    #[test]
+    fn perm_rank_roundtrip_all_n4() {
+        let n = 4;
+        let mut buf = Vec::new();
+        for r in 0..factorial(n) {
+            unrank_perm(r, n, &mut buf);
+            assert_eq!(rank_perm(&buf, n), r);
+            // buf must be a permutation of 1..=4
+            let mut sorted = buf.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn kperm_rank_roundtrip_n5_k3() {
+        let (n, k) = (5, 3);
+        let mut buf = Vec::new();
+        let count = falling_factorial(n, k);
+        assert_eq!(count, 60);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..count {
+            unrank_kperm(r, n, k, &mut buf);
+            assert_eq!(buf.len(), k);
+            assert_eq!(rank_kperm(&buf, n), r);
+            assert!(seen.insert(buf.clone()), "duplicate kperm {buf:?}");
+        }
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let mut prev: Option<Vec<u8>> = None;
+        let mut buf = Vec::new();
+        for r in 0..falling_factorial(4, 2) {
+            unrank_kperm(r, 4, 2, &mut buf);
+            if let Some(p) = &prev {
+                assert!(p < &buf, "rank {r} not lexicographically increasing");
+            }
+            prev = Some(buf.clone());
+        }
+    }
+
+    #[test]
+    fn identity_has_rank_zero() {
+        assert_eq!(rank_perm(&[1, 2, 3, 4, 5], 5), 0);
+        assert_eq!(rank_kperm(&[1, 2], 6), 0);
+        let mut buf = Vec::new();
+        unrank_perm(0, 6, &mut buf);
+        assert_eq!(buf, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn last_rank_is_reverse() {
+        let n = 5;
+        let mut buf = Vec::new();
+        unrank_perm(factorial(n) - 1, n, &mut buf);
+        assert_eq!(buf, vec![5, 4, 3, 2, 1]);
+    }
+}

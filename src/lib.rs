@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the full `mmdiag` workspace API.
+pub use mmdiag_baselines as baselines;
+pub use mmdiag_core as diagnosis;
+pub use mmdiag_distsim as distsim;
+pub use mmdiag_syndrome as syndrome;
+pub use mmdiag_topology as topology;
