@@ -1,0 +1,32 @@
+//! `cargo bench -p mmdiag-bench` smoke target.
+//!
+//! Criterion is unavailable offline, so this is a plain wall-clock harness
+//! (`harness = false`) over the quick catalog: one smallest instance per
+//! family, full fault bound, adversarial `AllZero` testers. It exists so
+//! `cargo bench` gives an at-a-glance driver-vs-baseline picture without the
+//! full `mmdiag-bench` sweep.
+
+use mmdiag_bench::{run_cell, scatter_faults, small_catalog};
+use mmdiag_syndrome::TesterBehavior;
+use mmdiag_topology::{Partitionable, Topology};
+
+fn main() {
+    println!(
+        "{:<22} {:>6} {:>12} {:>12} {:>9}",
+        "instance", "nodes", "driver µs", "baseline µs", "lookup×"
+    );
+    for inst in small_catalog() {
+        let g = &inst.graph;
+        let faults = scatter_faults(g.node_count(), g.driver_fault_bound(), 7);
+        let rec = run_cell(&inst, &faults, TesterBehavior::AllZero);
+        println!(
+            "{:<22} {:>6} {:>12.1} {:>12.1} {:>8.1}x",
+            rec.instance,
+            rec.nodes,
+            rec.driver_nanos as f64 / 1e3,
+            rec.baseline_nanos as f64 / 1e3,
+            rec.baseline_lookups as f64 / rec.driver_lookups.max(1) as f64,
+        );
+        assert!(rec.agree);
+    }
+}

@@ -1,1 +1,435 @@
-//! Criterion bench harness crate. See `benches/`.
+//! # mmdiag-bench
+//!
+//! Benchmark harness for the `O(Δ·N)` diagnosis driver: sweeps all fourteen
+//! interconnection-network families of §5 across multiple sizes and fault
+//! loads, runs the sequential driver, the parallel driver (1/2/4/8 threads)
+//! and the naive full-table baseline on identical instances, asserts the
+//! three agree with the planted truth, and renders the measurements as a
+//! machine-readable JSON trajectory file (`BENCH_<pr>.json`).
+//!
+//! The interesting measured quantity besides wall time is **syndrome
+//! lookups**: the §6 claim is that the driver consults `O(Δ·N)` entries
+//! while any table-first algorithm pays for all `Σ C(deg u, 2)` of them.
+//! Both counts come from the same [`mmdiag_syndrome::SyndromeSource`]
+//! accounting, so the comparison is apples-to-apples.
+//!
+//! Criterion is not available in the offline build environment; the
+//! `benches/sweep.rs` target (`harness = false`) and the `mmdiag-bench`
+//! binary both drive the sweep below with plain wall-clock timing.
+
+#![warn(missing_docs)]
+
+use mmdiag_baselines::diagnose_baseline;
+use mmdiag_core::{diagnose, diagnose_parallel};
+use mmdiag_syndrome::{FaultSet, OracleSyndrome, SyndromeSource, TesterBehavior};
+use mmdiag_topology::families::{
+    Arrangement, AugmentedCube, AugmentedKAryNCube, CrossedCube, EnhancedHypercube,
+    FoldedHypercube, Hypercube, KAryNCube, NKStar, Pancake, ShuffleCube, StarGraph, TwistedCube,
+    TwistedNCube,
+};
+use mmdiag_topology::{Cached, Partitionable, Topology};
+use std::time::Instant;
+
+/// Thread counts exercised by the parallel-driver leg of every run.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// A named, materialised benchmark instance.
+pub struct Instance {
+    /// Family key (stable across sizes, e.g. `"hypercube"`).
+    pub family: &'static str,
+    /// The materialised topology (CSR adjacency + cached part labels).
+    pub graph: Cached,
+}
+
+impl Instance {
+    fn new<T: Partitionable + ?Sized>(family: &'static str, g: &T) -> Self {
+        Instance {
+            family,
+            graph: Cached::new(g),
+        }
+    }
+}
+
+/// One smallest valid instance per family — the quick sweep used by tests
+/// and the `cargo bench` smoke target.
+pub fn small_catalog() -> Vec<Instance> {
+    vec![
+        Instance::new("hypercube", &Hypercube::new(7)),
+        Instance::new("crossed_cube", &CrossedCube::new(7)),
+        Instance::new("twisted_cube", &TwistedCube::new(7)),
+        Instance::new("twisted_n_cube", &TwistedNCube::new(7)),
+        Instance::new("folded_hypercube", &FoldedHypercube::new(8)),
+        Instance::new("enhanced_hypercube", &EnhancedHypercube::new(8, 3)),
+        Instance::new("augmented_cube", &AugmentedCube::new(10)),
+        Instance::new("shuffle_cube", &ShuffleCube::new(10)),
+        Instance::new("kary", &KAryNCube::new(4, 4)),
+        Instance::new("augmented_kary", &AugmentedKAryNCube::new(4, 4)),
+        Instance::new("star", &StarGraph::new(6)),
+        Instance::new("nk_star", &NKStar::new(6, 3)),
+        Instance::new("pancake", &Pancake::new(6)),
+        Instance::new("arrangement", &Arrangement::new(6, 3)),
+    ]
+}
+
+/// The full sweep: every family at the sizes of [`small_catalog`] plus at
+/// least one larger size where the next valid parameterisation stays below
+/// ~5k nodes.
+pub fn full_catalog() -> Vec<Instance> {
+    let mut v = small_catalog();
+    v.extend([
+        Instance::new("hypercube", &Hypercube::new(8)),
+        Instance::new("crossed_cube", &CrossedCube::new(8)),
+        Instance::new("twisted_cube", &TwistedCube::new(8)),
+        Instance::new("twisted_n_cube", &TwistedNCube::new(8)),
+        Instance::new("folded_hypercube", &FoldedHypercube::new(9)),
+        Instance::new("enhanced_hypercube", &EnhancedHypercube::new(9, 3)),
+        Instance::new("kary", &KAryNCube::new(3, 6)),
+        Instance::new("star", &StarGraph::new(7)),
+        Instance::new("nk_star", &NKStar::new(7, 3)),
+        Instance::new("pancake", &Pancake::new(7)),
+        Instance::new("arrangement", &Arrangement::new(7, 3)),
+    ]);
+    v
+}
+
+/// Wall time and lookup count of one parallel-driver leg.
+#[derive(Clone, Debug)]
+pub struct ParallelLeg {
+    /// Worker-thread count requested.
+    pub threads: usize,
+    /// Wall time in nanoseconds.
+    pub nanos: u128,
+}
+
+/// All measurements for one (instance, fault set, behavior) cell.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Family key.
+    pub family: &'static str,
+    /// Instance display name (`Topology::name`).
+    pub instance: String,
+    /// `N`.
+    pub nodes: usize,
+    /// `Δ`.
+    pub max_degree: usize,
+    /// Parts in the §5 decomposition.
+    pub parts: usize,
+    /// The driver's fault bound for this instance.
+    pub fault_bound: usize,
+    /// Planted fault count.
+    pub num_faults: usize,
+    /// Faulty-tester behaviour label.
+    pub behavior: String,
+    /// Full syndrome table size `Σ C(deg u, 2)` — the baseline's lookup bill.
+    pub table_entries: u64,
+    /// Sequential driver wall time (ns).
+    pub driver_nanos: u128,
+    /// Sequential driver syndrome lookups.
+    pub driver_lookups: u64,
+    /// Restricted probes the driver ran before certifying.
+    pub driver_probes: usize,
+    /// Parallel-driver legs, one per [`THREAD_SWEEP`] entry.
+    pub parallel: Vec<ParallelLeg>,
+    /// Baseline wall time (ns).
+    pub baseline_nanos: u128,
+    /// Baseline syndrome lookups (always `table_entries`).
+    pub baseline_lookups: u64,
+    /// Did driver, parallel driver and baseline all return the planted set?
+    pub agree: bool,
+}
+
+/// Fault sizes exercised per instance: empty, singleton, half bound, full
+/// bound (deduplicated, ascending).
+pub fn fault_sizes(bound: usize) -> Vec<usize> {
+    let mut v = vec![0, 1, bound / 2, bound];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Deterministically scatter `count` faults over `0..n` — SplitMix64-style
+/// index hopping, no RNG dependency in the harness crate.
+pub fn scatter_faults(n: usize, count: usize, salt: u64) -> FaultSet {
+    assert!(count <= n, "cannot scatter {count} faults over {n} nodes");
+    let mut picked = vec![false; n];
+    let mut members = Vec::with_capacity(count);
+    let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+    while members.len() < count {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let idx = ((z ^ (z >> 31)) % n as u64) as usize;
+        if !picked[idx] {
+            picked[idx] = true;
+            members.push(idx);
+        }
+    }
+    FaultSet::new(n, &members)
+}
+
+/// `Σ_u C(deg u, 2)` — the size of the full syndrome table.
+pub fn table_size<T: Topology + ?Sized>(g: &T) -> u64 {
+    (0..g.node_count())
+        .map(|u| {
+            let d = g.degree(u) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Run one (instance, fault count, behavior) cell: sequential driver,
+/// parallel driver at every [`THREAD_SWEEP`] width, baseline; panic if any
+/// of them disagrees with the planted truth.
+pub fn run_cell(inst: &Instance, faults: &FaultSet, behavior: TesterBehavior) -> RunRecord {
+    let g = &inst.graph;
+    let s = OracleSyndrome::new(faults.clone(), behavior);
+
+    let t0 = Instant::now();
+    let drv = diagnose(g, &s).unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
+    let driver_nanos = t0.elapsed().as_nanos();
+    assert_eq!(
+        drv.faults,
+        faults.members(),
+        "{}: driver missed the planted set",
+        g.name()
+    );
+
+    let mut parallel = Vec::with_capacity(THREAD_SWEEP.len());
+    let mut par_agree = true;
+    for threads in THREAD_SWEEP {
+        let t0 = Instant::now();
+        let par = diagnose_parallel(g, &s, threads)
+            .unwrap_or_else(|e| panic!("{}: parallel driver failed: {e}", g.name()));
+        parallel.push(ParallelLeg {
+            threads,
+            nanos: t0.elapsed().as_nanos(),
+        });
+        par_agree &= par.faults == drv.faults && par.certified_part == drv.certified_part;
+    }
+
+    s.reset_lookups();
+    let t0 = Instant::now();
+    let base =
+        diagnose_baseline(g, &s).unwrap_or_else(|e| panic!("{}: baseline failed: {e}", g.name()));
+    let baseline_nanos = t0.elapsed().as_nanos();
+    let agree = par_agree && base.faults == drv.faults;
+    assert!(agree, "{}: driver/parallel/baseline disagree", g.name());
+
+    RunRecord {
+        family: inst.family,
+        instance: g.name(),
+        nodes: g.node_count(),
+        max_degree: g.max_degree(),
+        parts: g.part_count(),
+        fault_bound: g.driver_fault_bound(),
+        num_faults: faults.len(),
+        behavior: format!("{behavior:?}"),
+        table_entries: table_size(g),
+        driver_nanos,
+        driver_lookups: drv.lookups_used,
+        driver_probes: drv.probes,
+        parallel,
+        baseline_nanos,
+        baseline_lookups: base.lookups_used,
+        agree,
+    }
+}
+
+/// Sweep a catalog: for every instance, every [`fault_sizes`] load under a
+/// seeded `Random` tester behaviour, plus the full-bound load under the
+/// adversarial `AllZero` behaviour.
+pub fn sweep(catalog: &[Instance], progress: &mut dyn FnMut(&RunRecord)) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for (i, inst) in catalog.iter().enumerate() {
+        let g = &inst.graph;
+        g.check_partition_preconditions()
+            .unwrap_or_else(|e| panic!("catalog instance unusable: {e}"));
+        let bound = g.driver_fault_bound();
+        for (j, &k) in fault_sizes(bound).iter().enumerate() {
+            let salt = (i as u64) << 16 | j as u64;
+            let faults = scatter_faults(g.node_count(), k, salt);
+            let rec = run_cell(inst, &faults, TesterBehavior::Random { seed: salt });
+            progress(&rec);
+            records.push(rec);
+        }
+        let faults = scatter_faults(g.node_count(), bound, 0xA110_0000 + i as u64);
+        let rec = run_cell(inst, &faults, TesterBehavior::AllZero);
+        progress(&rec);
+        records.push(rec);
+    }
+    records
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render records as the `BENCH_<pr>.json` trajectory document.
+///
+/// Hand-rolled serialisation — serde is not available offline, and the
+/// schema is flat enough that this stays readable.
+pub fn to_json(bench_id: &str, records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mmdiag-bench/v1\",\n");
+    out.push_str(&format!("  \"bench_id\": \"{}\",\n", json_escape(bench_id)));
+    out.push_str(&format!(
+        "  \"thread_sweep\": [{}],\n",
+        THREAD_SWEEP.map(|t| t.to_string()).join(", ")
+    ));
+    out.push_str(&format!("  \"record_count\": {},\n", records.len()));
+    out.push_str(&format!(
+        "  \"families_covered\": {},\n",
+        families_covered(records)
+    ));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let par: Vec<String> = r
+            .parallel
+            .iter()
+            .map(|leg| format!("{{\"threads\": {}, \"nanos\": {}}}", leg.threads, leg.nanos))
+            .collect();
+        let speedup_vs_baseline = r.baseline_nanos as f64 / r.driver_nanos.max(1) as f64;
+        let lookup_ratio = r.baseline_lookups as f64 / r.driver_lookups.max(1) as f64;
+        out.push_str(&format!(
+            concat!(
+                "    {{\"family\": \"{}\", \"instance\": \"{}\", \"nodes\": {}, ",
+                "\"max_degree\": {}, \"parts\": {}, \"fault_bound\": {}, ",
+                "\"num_faults\": {}, \"behavior\": \"{}\", \"table_entries\": {}, ",
+                "\"driver\": {{\"nanos\": {}, \"lookups\": {}, \"probes\": {}}}, ",
+                "\"parallel\": [{}], ",
+                "\"baseline\": {{\"nanos\": {}, \"lookups\": {}}}, ",
+                "\"speedup_vs_baseline\": {:.3}, \"lookup_ratio\": {:.3}, ",
+                "\"agree\": {}}}{}\n"
+            ),
+            json_escape(r.family),
+            json_escape(&r.instance),
+            r.nodes,
+            r.max_degree,
+            r.parts,
+            r.fault_bound,
+            r.num_faults,
+            json_escape(&r.behavior),
+            r.table_entries,
+            r.driver_nanos,
+            r.driver_lookups,
+            r.driver_probes,
+            par.join(", "),
+            r.baseline_nanos,
+            r.baseline_lookups,
+            speedup_vs_baseline,
+            lookup_ratio,
+            r.agree,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Number of distinct family keys present in `records`.
+pub fn families_covered(records: &[RunRecord]) -> usize {
+    let mut fams: Vec<&str> = records.iter().map(|r| r.family).collect();
+    fams.sort_unstable();
+    fams.dedup();
+    fams.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogs_cover_all_fourteen_families() {
+        for catalog in [small_catalog(), full_catalog()] {
+            let mut fams: Vec<&str> = catalog.iter().map(|i| i.family).collect();
+            fams.sort_unstable();
+            fams.dedup();
+            assert_eq!(fams.len(), 14, "got {fams:?}");
+        }
+    }
+
+    #[test]
+    fn catalog_instances_satisfy_driver_preconditions() {
+        for inst in full_catalog() {
+            inst.graph
+                .check_partition_preconditions()
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn scatter_is_exact_and_deterministic() {
+        let a = scatter_faults(100, 7, 42);
+        let b = scatter_faults(100, 7, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        let c = scatter_faults(100, 7, 43);
+        assert_ne!(a, c, "different salts should differ");
+    }
+
+    #[test]
+    fn fault_sizes_shape() {
+        assert_eq!(fault_sizes(7), vec![0, 1, 3, 7]);
+        assert_eq!(fault_sizes(1), vec![0, 1]);
+        assert_eq!(fault_sizes(2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_cell_measures_and_agrees() {
+        let inst = Instance::new("hypercube", &Hypercube::new(7));
+        let faults = scatter_faults(128, 3, 9);
+        let rec = run_cell(&inst, &faults, TesterBehavior::Random { seed: 5 });
+        assert!(rec.agree);
+        assert_eq!(rec.num_faults, 3);
+        assert_eq!(rec.table_entries, 128 * 21);
+        assert_eq!(rec.baseline_lookups, 128 * 21);
+        assert!(
+            rec.driver_lookups < rec.baseline_lookups,
+            "driver {} vs table {}",
+            rec.driver_lookups,
+            rec.baseline_lookups
+        );
+        assert_eq!(rec.parallel.len(), THREAD_SWEEP.len());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let inst = Instance::new("hypercube", &Hypercube::new(7));
+        let rec = run_cell(&inst, &scatter_faults(128, 1, 3), TesterBehavior::AllZero);
+        let json = to_json("BENCH_TEST", &[rec]);
+        // Balanced braces/brackets and the fields the trajectory reader keys on.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for needle in [
+            "\"schema\": \"mmdiag-bench/v1\"",
+            "\"bench_id\": \"BENCH_TEST\"",
+            "\"families_covered\": 1",
+            "\"driver\"",
+            "\"baseline\"",
+            "\"agree\": true",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

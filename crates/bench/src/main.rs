@@ -1,0 +1,77 @@
+//! The `mmdiag-bench` harness binary.
+//!
+//! Sweeps the family catalog, cross-checks driver vs parallel driver vs
+//! baseline on every cell, and writes the machine-readable trajectory file.
+//!
+//! ```text
+//! mmdiag-bench [--quick] [--out PATH]
+//!   --quick   one (smallest) instance per family instead of the full sweep
+//!   --out     output path (default BENCH_1.json in the working directory)
+//! ```
+
+use mmdiag_bench::{full_catalog, small_catalog, sweep, to_json};
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_1.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args
+                    .next()
+                    .unwrap_or_else(|| die("--out needs a path argument"));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: mmdiag-bench [--quick] [--out PATH]");
+                return;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let catalog = if quick {
+        small_catalog()
+    } else {
+        full_catalog()
+    };
+    eprintln!(
+        "sweeping {} instances across 14 families (driver / parallel x4 / baseline)…",
+        catalog.len()
+    );
+    eprintln!(
+        "{:<22} {:>6} {:>7} {:>12} {:>12} {:>9} {:>9}",
+        "instance", "nodes", "faults", "driver µs", "baseline µs", "speedup", "lookup×"
+    );
+    let records = sweep(&catalog, &mut |rec| {
+        eprintln!(
+            "{:<22} {:>6} {:>7} {:>12.1} {:>12.1} {:>8.1}x {:>8.1}x",
+            rec.instance,
+            rec.nodes,
+            rec.num_faults,
+            rec.driver_nanos as f64 / 1e3,
+            rec.baseline_nanos as f64 / 1e3,
+            rec.baseline_nanos as f64 / rec.driver_nanos.max(1) as f64,
+            rec.baseline_lookups as f64 / rec.driver_lookups.max(1) as f64,
+        );
+    });
+
+    let disagreements = records.iter().filter(|r| !r.agree).count();
+    let json = to_json("BENCH_1", &records);
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
+    eprintln!(
+        "\n{} records ({} families) -> {out_path}; disagreements: {disagreements}",
+        records.len(),
+        mmdiag_bench::families_covered(&records),
+    );
+    if disagreements > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("mmdiag-bench: {msg}");
+    std::process::exit(2);
+}

@@ -59,7 +59,10 @@ impl std::fmt::Display for DiagnosisError {
         match self {
             DiagnosisError::Preconditions(msg) => write!(f, "decomposition unusable: {msg}"),
             DiagnosisError::NoPartCertified => {
-                write!(f, "no part certified all-healthy; syndrome violates the model")
+                write!(
+                    f,
+                    "no part certified all-healthy; syndrome violates the model"
+                )
             }
             DiagnosisError::TooManyFaults { found, bound } => write!(
                 f,

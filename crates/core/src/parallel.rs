@@ -24,11 +24,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Like [`crate::driver::diagnose`], but probing part representatives on
 /// `threads` worker threads. Requires the topology and syndrome to be
 /// shareable across threads.
-pub fn diagnose_parallel<T, S>(
-    g: &T,
-    s: &S,
-    threads: usize,
-) -> Result<Diagnosis, DiagnosisError>
+pub fn diagnose_parallel<T, S>(g: &T, s: &S, threads: usize) -> Result<Diagnosis, DiagnosisError>
 where
     T: Partitionable + Sync + ?Sized,
     S: SyndromeSource + Sync + ?Sized,

@@ -441,6 +441,52 @@ mod tests {
     }
 
     #[test]
+    fn honest_probe_matches_topology_prediction() {
+        // `mmdiag_topology::honest_probe_contributors` re-implements this
+        // module's growth under an all-Agree syndrome so families can cap
+        // `driver_fault_bound` without depending on this crate. Guard the
+        // two against drift on a spread of shapes.
+        use mmdiag_topology::families::{
+            AugmentedCube, AugmentedKAryNCube, Hypercube, KAryNCube, NKStar, Pancake, StarGraph,
+            TwistedCube,
+        };
+        use mmdiag_topology::{honest_probe_contributors, Partitionable};
+
+        struct AllAgree;
+        impl mmdiag_syndrome::SyndromeSource for AllAgree {
+            fn lookup(&self, _u: NodeId, _v: NodeId, _w: NodeId) -> mmdiag_syndrome::TestResult {
+                mmdiag_syndrome::TestResult::Agree
+            }
+        }
+
+        let graphs: Vec<Box<dyn Partitionable>> = vec![
+            Box::new(Hypercube::new(7)),
+            Box::new(Hypercube::with_partition_dim(6, 3)),
+            Box::new(TwistedCube::new(7)),
+            Box::new(AugmentedCube::with_partition_dim(5, 3)),
+            Box::new(AugmentedKAryNCube::with_partition_dim(3, 3, 1)),
+            Box::new(KAryNCube::with_partition_dim(3, 4, 2)),
+            Box::new(StarGraph::new(5)),
+            Box::new(NKStar::new(5, 3)),
+            Box::new(Pancake::new(5)),
+        ];
+        for g in &graphs {
+            let g = g.as_ref();
+            let mut ws = Workspace::new(g.node_count());
+            for part in 0..g.part_count() {
+                let out =
+                    set_builder_in_part(g, &AllAgree, g.representative(part), usize::MAX, &mut ws);
+                assert_eq!(
+                    out.contributors,
+                    honest_probe_contributors(g, part),
+                    "{} part {part}",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parent_tests_use_tree_parent() {
         // Regression guard for the exact §4.1 rule: t(v) must be a node of
         // the previous level whose test against its own parent was Agree.

@@ -48,10 +48,7 @@ impl SpanningTree {
 
     /// The parent of `v`, or `None` for the root / non-members.
     pub fn parent(&self, v: NodeId) -> Option<NodeId> {
-        self.edges
-            .iter()
-            .find(|&&(c, _)| c == v)
-            .map(|&(_, p)| p)
+        self.edges.iter().find(|&&(c, _)| c == v).map(|&(_, p)| p)
     }
 
     /// The internal nodes (nodes with at least one child) — the

@@ -1,0 +1,131 @@
+//! Offline stand-in for the crates.io `rand` crate (see
+//! `crates/shims/README.md`).
+//!
+//! Exposes exactly the surface this workspace consumes: the [`RngCore`] /
+//! [`Rng`] / [`SeedableRng`] traits and [`seq::SliceRandom::shuffle`].
+//! Deterministic given a deterministic generator; no `OsRng`, no `thread_rng`.
+
+#![warn(missing_docs)]
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The user-facing generator trait. In this shim it only adds bounded
+/// sampling on top of [`RngCore`]; every `RngCore` automatically implements
+/// it, mirroring the blanket impl of the real crate.
+pub trait Rng: RngCore {
+    /// Uniform sample from `0..bound` (`bound > 0`), via Lemire-style
+    /// rejection so small bounds are unbiased.
+    fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below(0)");
+        // Rejection sampling over the widest zone that is a multiple of
+        // `bound`: at most one extra draw on average for any bound.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sequence-related helpers (`shuffle`).
+pub mod seq {
+    use crate::Rng;
+
+    /// Shuffling for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Uniform in-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_below(i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    /// SplitMix64 — good enough to exercise the trait plumbing.
+    struct SplitMix(u64);
+    impl RngCore for SplitMix {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_below_stays_in_range() {
+        let mut r = SplitMix(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.gen_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix(42);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn shuffle_through_unsized_ref() {
+        let mut r = SplitMix(1);
+        let dynr: &mut dyn RngCore = &mut r;
+        let mut v = [1, 2, 3, 4, 5];
+        v.shuffle(dynr);
+    }
+}

@@ -78,7 +78,13 @@ pub enum TesterBehavior {
 
 /// The ground-truth MM-model result of test `s_u(v, w)` given the fault
 /// set. Symmetric in `v, w` by construction.
-pub fn ground_truth(faults: &FaultSet, u: NodeId, v: NodeId, w: NodeId, behavior: TesterBehavior) -> TestResult {
+pub fn ground_truth(
+    faults: &FaultSet,
+    u: NodeId,
+    v: NodeId,
+    w: NodeId,
+    behavior: TesterBehavior,
+) -> TestResult {
     debug_assert_ne!(v, w, "MM tests compare two distinct neighbours");
     let honest = if faults.contains(v) || faults.contains(w) {
         TestResult::Disagree

@@ -11,7 +11,7 @@
 //! them up front.
 
 use crate::fault::FaultSet;
-use crate::model::{ground_truth, TesterBehavior, TestResult};
+use crate::model::{ground_truth, TestResult, TesterBehavior};
 use crate::source::SyndromeSource;
 use mmdiag_topology::NodeId;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -12,7 +12,7 @@
 //! "full syndrome" baseline of §6.
 
 use crate::fault::FaultSet;
-use crate::model::{ground_truth, TesterBehavior, TestResult};
+use crate::model::{ground_truth, TestResult, TesterBehavior};
 use crate::source::SyndromeSource;
 use mmdiag_topology::{NodeId, Topology};
 use std::cell::Cell;
@@ -28,6 +28,18 @@ pub struct SyndromeTable {
     lookups: Cell<u64>,
 }
 
+/// A non-counting view of the ground truth, used to materialise tables.
+struct GroundTruthSource<'a> {
+    faults: &'a FaultSet,
+    behavior: TesterBehavior,
+}
+
+impl SyndromeSource for GroundTruthSource<'_> {
+    fn lookup(&self, u: NodeId, v: NodeId, w: NodeId) -> TestResult {
+        ground_truth(self.faults, u, v, w, self.behavior)
+    }
+}
+
 impl SyndromeTable {
     /// Run every MM test on `g` under `faults`/`behavior` and record the
     /// results.
@@ -36,8 +48,24 @@ impl SyndromeTable {
         faults: &FaultSet,
         behavior: TesterBehavior,
     ) -> Self {
+        assert_eq!(
+            faults.universe(),
+            g.node_count(),
+            "fault set universe mismatch"
+        );
+        Self::capture(g, &GroundTruthSource { faults, behavior })
+    }
+
+    /// Materialise the table by reading *every* entry of an existing source
+    /// — `Σ_u C(deg u, 2)` lookups, the up-front bill any table-first
+    /// algorithm pays (and that lazy `Set_Builder` avoids). The source's
+    /// lookup counter tallies the full cost.
+    pub fn capture<T, S>(g: &T, s: &S) -> Self
+    where
+        T: Topology + ?Sized,
+        S: SyndromeSource + ?Sized,
+    {
         let n = g.node_count();
-        assert_eq!(faults.universe(), n, "fault set universe mismatch");
         let mut nbr_offsets = Vec::with_capacity(n + 1);
         let mut nbrs = Vec::new();
         let mut bit_offsets = Vec::with_capacity(n + 1);
@@ -56,16 +84,14 @@ impl SyndromeTable {
         }
         let mut bits = vec![0u64; total_bits.div_ceil(64)];
         for u in 0..n {
-            let s = nbr_offsets[u];
-            let e = nbr_offsets[u + 1];
+            let start = nbr_offsets[u];
+            let end = nbr_offsets[u + 1];
             let base = bit_offsets[u];
-            let neigh = &nbrs[s..e];
+            let neigh = &nbrs[start..end];
             let mut idx = 0usize;
             for i in 0..neigh.len() {
                 for j in (i + 1)..neigh.len() {
-                    if ground_truth(faults, u, neigh[i], neigh[j], behavior)
-                        == TestResult::Disagree
-                    {
+                    if s.lookup(u, neigh[i], neigh[j]) == TestResult::Disagree {
                         let bit = base + idx;
                         bits[bit / 64] |= 1 << (bit % 64);
                     }
@@ -86,6 +112,11 @@ impl SyndromeTable {
     /// syndrome table" of §6.
     pub fn entry_count(&self) -> usize {
         *self.bit_offsets.last().unwrap()
+    }
+
+    /// Sorted neighbour slice of `u`, as recorded at build time.
+    pub fn neighbors_slice(&self, u: NodeId) -> &[NodeId] {
+        &self.nbrs[self.nbr_offsets[u]..self.nbr_offsets[u + 1]]
     }
 
     /// Index of `v` within `u`'s sorted neighbour list.

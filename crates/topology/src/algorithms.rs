@@ -191,7 +191,11 @@ pub fn max_vertex_disjoint_paths<T: Topology + ?Sized>(g: &T, s: NodeId, t: Node
     let add_arc = |adj: &mut Vec<Vec<Arc>>, a: usize, b: usize, cap: u32| {
         let ra = adj[b].len();
         let rb = adj[a].len();
-        adj[a].push(Arc { to: b, cap, rev: ra });
+        adj[a].push(Arc {
+            to: b,
+            cap,
+            rev: ra,
+        });
         adj[b].push(Arc {
             to: a,
             cap: 0,

@@ -103,6 +103,14 @@ impl Partitionable for AugmentedCube {
     fn part_size(&self, _part: usize) -> usize {
         1 << self.m
     }
+    fn driver_fault_bound(&self) -> usize {
+        // `AQ_m` parts are extremely dense (degree 2m − 1), so their probe
+        // trees are shallow: 32-node `AQ_5` parts certify only 14 internal
+        // nodes against δ = 2n − 1 = 19 for `AQ_10`. Cap the bound at what
+        // every part can certify. O(Δ·N) per call for raw
+        // family structs — wrap in `Cached` to memoise on hot paths.
+        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+    }
 }
 
 #[cfg(test)]

@@ -30,9 +30,8 @@ impl AugmentedKAryNCube {
     pub fn new(n: usize, k: usize) -> Self {
         assert!(k >= 3, "augmented k-ary n-cube needs k ≥ 3");
         assert!(n >= 2, "augmented k-ary n-cube needs n ≥ 2");
-        let m = minimal_partition_dim(k, n, 4 * n - 2).unwrap_or_else(|| {
-            panic!("AQ_({n},{k}): no partition dimension satisfies §5.2")
-        });
+        let m = minimal_partition_dim(k, n, 4 * n - 2)
+            .unwrap_or_else(|| panic!("AQ_({n},{k}): no partition dimension satisfies §5.2"));
         AugmentedKAryNCube { k, n, m }
     }
 
@@ -125,6 +124,14 @@ impl Partitionable for AugmentedKAryNCube {
     fn part_size(&self, _part: usize) -> usize {
         self.pow(self.m)
     }
+    fn driver_fault_bound(&self) -> usize {
+        // Augmented tori have degree 4n − 2 ≈ their small parts' node
+        // counts: a 16-node part of `AQ_(4,4)` certifies only 7 internal
+        // nodes against δ = 14. Cap the bound at what every part can
+        // certify. O(Δ·N) per call for raw family structs — wrap in
+        // `Cached` to memoise on hot paths.
+        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+    }
 }
 
 #[cfg(test)]
@@ -136,18 +143,33 @@ mod tests {
     #[test]
     fn aq_2_4_structure() {
         // n=2, k=4: 16 nodes, 6-regular, κ = 6.
-        assert_family_structure(&AugmentedKAryNCube::with_partition_dim(2, 4, 1), 16, 6, true);
+        assert_family_structure(
+            &AugmentedKAryNCube::with_partition_dim(2, 4, 1),
+            16,
+            6,
+            true,
+        );
     }
 
     #[test]
     fn aq_2_5_structure() {
-        assert_family_structure(&AugmentedKAryNCube::with_partition_dim(2, 5, 1), 25, 6, true);
+        assert_family_structure(
+            &AugmentedKAryNCube::with_partition_dim(2, 5, 1),
+            25,
+            6,
+            true,
+        );
     }
 
     #[test]
     fn aq_3_3_structure() {
         // n=3, k=3: 27 nodes, 10-regular, κ = 10.
-        assert_family_structure(&AugmentedKAryNCube::with_partition_dim(3, 3, 1), 27, 10, true);
+        assert_family_structure(
+            &AugmentedKAryNCube::with_partition_dim(3, 3, 1),
+            27,
+            10,
+            true,
+        );
     }
 
     #[test]

@@ -110,6 +110,13 @@ impl Partitionable for CrossedCube {
     fn part_size(&self, _part: usize) -> usize {
         1 << self.m
     }
+    fn driver_fault_bound(&self) -> usize {
+        // `CQ_m` parts grow shallow probe trees (8 internal nodes for
+        // `CQ_4` parts, not enough for δ = 8 at `CQ_8`); cap the bound at
+        // what every part can certify. O(Δ·N) per call for raw
+        // family structs — wrap in `Cached` to memoise on hot paths.
+        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+    }
 }
 
 #[cfg(test)]

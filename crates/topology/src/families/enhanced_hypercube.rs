@@ -116,6 +116,13 @@ impl Partitionable for EnhancedHypercube {
     fn part_size(&self, _part: usize) -> usize {
         1 << self.part_dim
     }
+    fn driver_fault_bound(&self) -> usize {
+        // The subcube parts certify at most 10 internal nodes for
+        // part_dim = 4, below δ = n + 1 from n = 9 up; cap the bound at
+        // what every part can certify. O(Δ·N) per call for raw
+        // family structs — wrap in `Cached` to memoise on hot paths.
+        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+    }
 }
 
 #[cfg(test)]

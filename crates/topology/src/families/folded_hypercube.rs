@@ -96,6 +96,13 @@ impl Partitionable for FoldedHypercube {
     fn part_size(&self, _part: usize) -> usize {
         1 << self.m
     }
+    fn driver_fault_bound(&self) -> usize {
+        // The `Q_m` parts certify at most 10 internal nodes for m = 4,
+        // which is below δ = n + 1 from `FQ_9` up; cap the bound at what
+        // every part can certify. O(Δ·N) per call for raw
+        // family structs — wrap in `Cached` to memoise on hot paths.
+        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+    }
 }
 
 #[cfg(test)]

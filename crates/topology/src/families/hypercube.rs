@@ -25,7 +25,10 @@ impl Hypercube {
     /// parts `2^{n−m}` also exceeds `n` (Theorem 2's hypothesis); smaller
     /// `n` panics — use [`Hypercube::with_partition_dim`] to experiment.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n < usize::BITS as usize, "Q_n needs 1 ≤ n < word size");
+        assert!(
+            n >= 1 && n < usize::BITS as usize,
+            "Q_n needs 1 ≤ n < word size"
+        );
         let m = minimal_partition_dim(2, n, n).unwrap_or_else(|| {
             panic!("Q_{n}: no partition dimension satisfies Theorem 2 (need n ≥ 7)")
         });

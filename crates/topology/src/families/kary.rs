@@ -35,9 +35,8 @@ impl KAryNCube {
     pub fn new(k: usize, n: usize) -> Self {
         assert!(k >= 3, "k-ary n-cube needs k ≥ 3 (k = 2 is the hypercube)");
         assert!(n >= 1);
-        let m = minimal_partition_dim(k, n, 2 * n).unwrap_or_else(|| {
-            panic!("Q^{k}_{n}: no partition dimension satisfies Theorem 4")
-        });
+        let m = minimal_partition_dim(k, n, 2 * n)
+            .unwrap_or_else(|| panic!("Q^{k}_{n}: no partition dimension satisfies Theorem 4"));
         KAryNCube { k, n, m }
     }
 
@@ -77,7 +76,11 @@ impl Topology for KAryNCube {
         let mut base = 1usize;
         for _ in 0..self.n {
             let digit = (u / base) % self.k;
-            let up = if digit + 1 == self.k { digit + 1 - self.k } else { digit + 1 };
+            let up = if digit + 1 == self.k {
+                digit + 1 - self.k
+            } else {
+                digit + 1
+            };
             let down = if digit == 0 { self.k - 1 } else { digit - 1 };
             out.push(u - digit * base + up * base);
             out.push(u - digit * base + down * base);

@@ -22,7 +22,10 @@ pub struct Pancake {
 impl Pancake {
     /// Build `P_n` (`2 ≤ n ≤ 12`).
     pub fn new(n: usize) -> Self {
-        assert!((2..=12).contains(&n), "pancake graph supported for 2 ≤ n ≤ 12");
+        assert!(
+            (2..=12).contains(&n),
+            "pancake graph supported for 2 ≤ n ≤ 12"
+        );
         Pancake { n }
     }
 

@@ -118,6 +118,14 @@ impl Partitionable for TwistedCube {
     fn part_size(&self, _part: usize) -> usize {
         1 << self.m
     }
+    fn driver_fault_bound(&self) -> usize {
+        // The twisted `TQ_m` parts are dense and shallow, so the honest
+        // probe tree's internal-node count — not the part size — limits the
+        // §4.1 certificate (`TQ_4` parts top out at 7 internal nodes, below
+        // δ = 7 for `TQ_7`). Cap at what every part can certify; O(Δ·N) per
+        // call for raw family structs — wrap in `Cached` to memoise on hot paths.
+        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +169,7 @@ mod tests {
         // cycles), while the twist creates a 5-cycle. Check for an odd cycle
         // by 2-colouring.
         let g = TwistedCube::with_partition_dim(3, 2);
-        let mut colour = vec![u8::MAX; 8];
+        let mut colour = [u8::MAX; 8];
         let mut stack = vec![0usize];
         colour[0] = 0;
         let mut bipartite = true;

@@ -164,7 +164,7 @@ mod tests {
     fn tq3_is_not_bipartite() {
         // The defining property of the twist: it creates odd cycles.
         let g = TwistedNCube { n: 3, m: 3 };
-        let mut colour = vec![u8::MAX; 8];
+        let mut colour = [u8::MAX; 8];
         let mut stack = vec![0usize];
         colour[0] = 0;
         let mut bipartite = true;

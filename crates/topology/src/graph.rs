@@ -311,7 +311,8 @@ mod tests {
         let g = path3();
         let r: &dyn Topology = &g;
         assert_eq!(r.node_count(), 3);
-        assert_eq!((&g).degree(1), 2);
+        // Exercise the blanket `impl Topology for &T` explicitly.
+        assert_eq!(Topology::degree(&&g, 1), 2);
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub mod verify;
 
 pub use cached::Cached;
 pub use graph::{AdjGraph, NodeId, Topology};
-pub use partition::Partitionable;
+pub use partition::{certified_fault_capacity, honest_probe_contributors, Partitionable};

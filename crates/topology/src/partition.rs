@@ -92,6 +92,120 @@ impl<T: Partitionable + ?Sized> Partitionable for &T {
     }
 }
 
+/// Contributors (internal nodes) of the tree the restricted `Set_Builder`
+/// probe grows inside `part` when **every** test answers `Agree` — i.e. the
+/// tree a fault-free part produces, which is a pure graph invariant of the
+/// decomposition.
+///
+/// This mirrors `mmdiag_core::set_builder_in_part` exactly (level-1 witness
+/// pairs, layered growth, the child-spreading parent reassignment) with the
+/// syndrome fixed to all-`Agree`; the core test-suite cross-checks the two
+/// against each other so they cannot drift apart.
+///
+/// Why it matters: the §4.1 certificate fires only when the probe's tree has
+/// *more than `fault_bound`* internal nodes, and for dense low-diameter
+/// parts the maximal-growth tree is shallow — its internal-node count can
+/// sit far below the part's node count (e.g. a 16-node augmented-`k`-ary
+/// part yields only 7). A fault bound at or above this value makes
+/// certification impossible even with zero faults, so
+/// [`Partitionable::driver_fault_bound`] implementations must stay below it.
+pub fn honest_probe_contributors<T: Partitionable + ?Sized>(g: &T, part: usize) -> usize {
+    let n = g.node_count();
+    let u0 = g.representative(part);
+    let in_part = |v: NodeId| g.part_of(v) == part;
+
+    let mut seen = vec![false; n];
+    let mut parent = vec![0 as NodeId; n];
+    let mut layer = vec![0u32; n];
+    let mut claims = vec![0u32; n];
+    let mut contributed = vec![false; n];
+    seen[u0] = true;
+
+    // Level 1: every in-part neighbour pair of the seed agrees, so all
+    // in-part neighbours join — provided there are at least two of them to
+    // form a witness pair.
+    let mut candidates: Vec<NodeId> = g
+        .neighbors(u0)
+        .into_iter()
+        .filter(|&v| in_part(v))
+        .collect();
+    candidates.sort_unstable();
+    if candidates.len() < 2 {
+        return 0;
+    }
+    let mut frontier = candidates;
+    for &v in &frontier {
+        seen[v] = true;
+        parent[v] = u0;
+        layer[v] = 1;
+    }
+    let mut contributors = 1usize; // u0
+    contributed[u0] = true;
+
+    let mut buf = Vec::new();
+    let mut next: Vec<NodeId> = Vec::new();
+    let mut cur_layer = 1u32;
+    while !frontier.is_empty() {
+        next.clear();
+        cur_layer += 1;
+        frontier.sort_unstable();
+        for &u in &frontier {
+            let tu = parent[u];
+            g.neighbors_into(u, &mut buf);
+            for &v in &buf {
+                if v == tu || !in_part(v) {
+                    continue;
+                }
+                if seen[v] {
+                    // Spread heuristic: move a same-layer child to an unused
+                    // eligible parent (all tests agree here, so eligibility
+                    // is purely structural).
+                    if layer[v] == cur_layer && claims[parent[v]] > 1 && claims[u] == 0 {
+                        claims[parent[v]] -= 1;
+                        claims[u] += 1;
+                        parent[v] = u;
+                    }
+                    continue;
+                }
+                seen[v] = true;
+                parent[v] = u;
+                layer[v] = cur_layer;
+                claims[u] += 1;
+                next.push(v);
+            }
+        }
+        for &u in &frontier {
+            claims[u] = 0;
+        }
+        for &v in &next {
+            let p = parent[v];
+            if !contributed[p] {
+                contributed[p] = true;
+                contributors += 1;
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    contributors
+}
+
+/// The largest fault bound the partition-driven driver can support on this
+/// decomposition: every part must be able to certify when fault-free
+/// (strictly more probe-tree internal nodes than the bound) and the
+/// pigeonhole argument needs strictly more parts than faults.
+///
+/// Families whose diagnosability exceeds this value must cap their
+/// [`Partitionable::driver_fault_bound`] at it; otherwise `diagnose` cannot
+/// complete even on a fault-free syndrome.
+pub fn certified_fault_capacity<T: Partitionable + ?Sized>(g: &T) -> usize {
+    let parts = g.part_count();
+    let min_contrib = (0..parts)
+        .map(|p| honest_probe_contributors(g, p))
+        .min()
+        .unwrap_or(0);
+    min_contrib.saturating_sub(1).min(parts.saturating_sub(1))
+}
+
 /// Verify, by exhaustive scan, that a [`Partitionable`] implementation is a
 /// genuine partition: every node belongs to exactly one part, representatives
 /// lie in their own part, part sizes agree, and each part induces a connected
@@ -107,12 +221,12 @@ pub fn validate_partition<T: Partitionable + ?Sized>(g: &T) -> Result<(), String
         }
         sizes[p] += 1;
     }
-    for p in 0..parts {
-        if sizes[p] != g.part_size(p) {
+    for (p, &counted) in sizes.iter().enumerate() {
+        if counted != g.part_size(p) {
             return Err(format!(
                 "part {p}: claimed size {} but counted {}",
                 g.part_size(p),
-                sizes[p]
+                counted
             ));
         }
         let rep = g.representative(p);
@@ -129,7 +243,7 @@ pub fn validate_partition<T: Partitionable + ?Sized>(g: &T) -> Result<(), String
     // Connectivity of each induced part via restricted DFS.
     let mut seen = vec![false; n];
     let mut buf = Vec::new();
-    for p in 0..parts {
+    for (p, &expected) in sizes.iter().enumerate() {
         let rep = g.representative(p);
         let mut stack = vec![rep];
         let mut count = 0usize;
@@ -144,10 +258,9 @@ pub fn validate_partition<T: Partitionable + ?Sized>(g: &T) -> Result<(), String
                 }
             }
         }
-        if count != sizes[p] {
+        if count != expected {
             return Err(format!(
-                "part {p} is disconnected: reached {count} of {} nodes",
-                sizes[p]
+                "part {p} is disconnected: reached {count} of {expected} nodes"
             ));
         }
     }
@@ -249,5 +362,65 @@ mod tests {
         let b = BadRep(TwoTriangles::new());
         let err = validate_partition(&b).unwrap_err();
         assert!(err.contains("representative"), "{err}");
+    }
+
+    #[test]
+    fn honest_probe_on_triangle_parts() {
+        // A triangle part: seed's two in-part neighbours form the witness
+        // pair and both join at level 1 — the seed is the only internal
+        // node.
+        let t = TwoTriangles::new();
+        assert_eq!(honest_probe_contributors(&t, 0), 1);
+        assert_eq!(honest_probe_contributors(&t, 1), 1);
+        // capacity = min(contributors − 1, parts − 1) = 0: the triangle
+        // decomposition cannot certify any positive fault bound.
+        assert_eq!(certified_fault_capacity(&t), 0);
+    }
+
+    /// A path part (0-1-2 | 3-4-5 as two paths joined by a matching): the
+    /// representative has a single in-part neighbour, so the level-1
+    /// witness pair never exists and the probe tree is the bare seed.
+    struct TwoPaths {
+        g: AdjGraph,
+    }
+    impl TwoPaths {
+        fn new() -> Self {
+            let edges = [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)];
+            TwoPaths {
+                g: AdjGraph::from_edges(6, &edges, "2P3"),
+            }
+        }
+    }
+    impl Topology for TwoPaths {
+        fn node_count(&self) -> usize {
+            6
+        }
+        fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+            self.g.neighbors_into(u, out)
+        }
+        fn diagnosability(&self) -> usize {
+            1
+        }
+        fn name(&self) -> String {
+            "2P3".into()
+        }
+    }
+    impl Partitionable for TwoPaths {
+        fn part_count(&self) -> usize {
+            2
+        }
+        fn part_of(&self, u: NodeId) -> usize {
+            u / 3
+        }
+        fn representative(&self, part: usize) -> usize {
+            part * 3
+        }
+    }
+
+    #[test]
+    fn honest_probe_needs_a_witness_pair() {
+        let t = TwoPaths::new();
+        assert_eq!(honest_probe_contributors(&t, 0), 0);
+        assert_eq!(certified_fault_capacity(&t), 0);
     }
 }

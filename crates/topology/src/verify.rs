@@ -17,7 +17,13 @@ pub fn assert_simple_undirected<T: Topology + ?Sized>(g: &T) {
         let mut sorted = buf.clone();
         sorted.sort_unstable();
         for w in sorted.windows(2) {
-            assert_ne!(w[0], w[1], "{}: duplicate neighbour {} of {u}", g.name(), w[0]);
+            assert_ne!(
+                w[0],
+                w[1],
+                "{}: duplicate neighbour {} of {u}",
+                g.name(),
+                w[0]
+            );
         }
         for &v in &buf {
             assert!(v < n, "{}: neighbour {v} of {u} out of range", g.name());

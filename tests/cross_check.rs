@@ -1,0 +1,182 @@
+//! Workspace-level cross-check property test.
+//!
+//! For every one of the fourteen §5 families:
+//!
+//! 1. **κ ≥ δ machine-verification** — the Theorem-1 hypothesis is checked
+//!    two ways: the claimed connectivity of the diagnosed instance must
+//!    cover its `driver_fault_bound`, and on a small probe instance of the
+//!    same family the claimed connectivity is recomputed exactly with the
+//!    Menger max-flow from `topology::algorithms`.
+//! 2. **Three-way agreement** — random fault sets of size
+//!    `≤ driver_fault_bound()` under every faulty-tester behaviour:
+//!    `diagnose`, `diagnose_parallel` and the naive baseline must all
+//!    return exactly the planted set.
+
+use mmdiag::baselines::diagnose_baseline;
+use mmdiag::diagnosis::{diagnose, diagnose_parallel};
+use mmdiag::syndrome::{behavior_sweep, FaultSet, OracleSyndrome, TesterBehavior};
+use mmdiag::topology::algorithms::vertex_connectivity;
+use mmdiag::topology::families::{
+    Arrangement, AugmentedCube, AugmentedKAryNCube, CrossedCube, EnhancedHypercube,
+    FoldedHypercube, Hypercube, KAryNCube, NKStar, Pancake, ShuffleCube, StarGraph, TwistedCube,
+    TwistedNCube,
+};
+use mmdiag::topology::{Partitionable, Topology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+struct FamilyCase {
+    /// The instance the algorithms diagnose (canonical constructor).
+    main: Box<dyn Partitionable + Sync>,
+    /// A small same-family instance whose claimed connectivity is recomputed
+    /// exactly (Menger max-flow is only tractable on small graphs).
+    kappa_probe: Box<dyn Topology>,
+}
+
+fn cases() -> Vec<FamilyCase> {
+    vec![
+        FamilyCase {
+            main: Box::new(Hypercube::new(7)),
+            kappa_probe: Box::new(Hypercube::with_partition_dim(5, 3)),
+        },
+        FamilyCase {
+            main: Box::new(CrossedCube::new(7)),
+            kappa_probe: Box::new(CrossedCube::with_partition_dim(5, 3)),
+        },
+        FamilyCase {
+            main: Box::new(TwistedCube::new(7)),
+            kappa_probe: Box::new(TwistedCube::with_partition_dim(5, 3)),
+        },
+        FamilyCase {
+            main: Box::new(TwistedNCube::new(7)),
+            kappa_probe: Box::new(TwistedNCube::with_partition_dim(5, 3)),
+        },
+        FamilyCase {
+            main: Box::new(FoldedHypercube::new(8)),
+            kappa_probe: Box::new(FoldedHypercube::with_partition_dim(5, 3)),
+        },
+        FamilyCase {
+            main: Box::new(EnhancedHypercube::new(8, 3)),
+            kappa_probe: Box::new(EnhancedHypercube::with_partition_dim(5, 4, 3)),
+        },
+        FamilyCase {
+            main: Box::new(AugmentedCube::new(10)),
+            kappa_probe: Box::new(AugmentedCube::with_partition_dim(5, 3)),
+        },
+        FamilyCase {
+            main: Box::new(ShuffleCube::new(10)),
+            kappa_probe: Box::new(ShuffleCube::with_partition_dim(6, 2)),
+        },
+        FamilyCase {
+            main: Box::new(KAryNCube::new(3, 6)),
+            kappa_probe: Box::new(KAryNCube::with_partition_dim(3, 3, 1)),
+        },
+        FamilyCase {
+            main: Box::new(AugmentedKAryNCube::new(4, 4)),
+            kappa_probe: Box::new(AugmentedKAryNCube::with_partition_dim(3, 3, 1)),
+        },
+        FamilyCase {
+            main: Box::new(StarGraph::new(6)),
+            kappa_probe: Box::new(StarGraph::new(5)),
+        },
+        FamilyCase {
+            main: Box::new(NKStar::new(6, 3)),
+            kappa_probe: Box::new(NKStar::new(5, 2)),
+        },
+        FamilyCase {
+            main: Box::new(Pancake::new(6)),
+            kappa_probe: Box::new(Pancake::new(5)),
+        },
+        FamilyCase {
+            main: Box::new(Arrangement::new(6, 3)),
+            kappa_probe: Box::new(Arrangement::new(5, 2)),
+        },
+    ]
+}
+
+#[test]
+fn kappa_at_least_delta_machine_verified() {
+    for case in cases() {
+        let g = case.main.as_ref();
+        // Claim-level Theorem-1 hypothesis on the diagnosed instance.
+        assert!(
+            g.connectivity() >= g.driver_fault_bound(),
+            "{}: claimed κ = {} below the driver fault bound {}",
+            g.name(),
+            g.connectivity(),
+            g.driver_fault_bound()
+        );
+        // Exact Menger verification of the claim on the small probe.
+        let probe = case.kappa_probe.as_ref();
+        let measured = vertex_connectivity(probe);
+        assert_eq!(
+            measured,
+            probe.connectivity(),
+            "{}: measured κ = {measured}, claimed {}",
+            probe.name(),
+            probe.connectivity()
+        );
+    }
+}
+
+#[test]
+fn driver_parallel_and_baseline_agree_on_every_family() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_2026);
+    for case in cases() {
+        let g = case.main.as_ref();
+        g.check_partition_preconditions()
+            .unwrap_or_else(|e| panic!("{e}"));
+        let n = g.node_count();
+        let bound = g.driver_fault_bound();
+        for trial in 0..2u64 {
+            // One fault load pinned to the bound, one drawn below it.
+            let size = if trial == 0 {
+                bound
+            } else {
+                rng.gen_below(bound as u64 + 1) as usize
+            };
+            let faults = FaultSet::random(n, size, &mut rng);
+            // The full behaviour sweep is quadratic-ish in table size for
+            // the baseline; restrict the largest instances to the two most
+            // adversarial behaviours to keep debug-mode runtime sane.
+            let behaviors: Vec<TesterBehavior> = if n <= 512 {
+                behavior_sweep(trial).to_vec()
+            } else {
+                vec![
+                    TesterBehavior::AllZero,
+                    TesterBehavior::Random { seed: trial },
+                ]
+            };
+            for b in behaviors {
+                let s = OracleSyndrome::new(faults.clone(), b);
+                let drv =
+                    diagnose(g, &s).unwrap_or_else(|e| panic!("{}: driver: {e} ({b:?})", g.name()));
+                assert_eq!(drv.faults, faults.members(), "{} driver {b:?}", g.name());
+
+                let par = diagnose_parallel(g, &s, 4)
+                    .unwrap_or_else(|e| panic!("{}: parallel: {e} ({b:?})", g.name()));
+                assert_eq!(par.faults, drv.faults, "{} parallel {b:?}", g.name());
+                assert_eq!(
+                    par.certified_part,
+                    drv.certified_part,
+                    "{} parallel must certify the same part {b:?}",
+                    g.name()
+                );
+
+                let base = diagnose_baseline(g, &s)
+                    .unwrap_or_else(|e| panic!("{}: baseline: {e} ({b:?})", g.name()));
+                assert_eq!(base.faults, drv.faults, "{} baseline {b:?}", g.name());
+
+                // §6's economy claim, instance-level: the driver must beat
+                // the full table the baseline paid for.
+                assert!(
+                    drv.lookups_used < base.lookups_used,
+                    "{}: driver used {} lookups vs table {}",
+                    g.name(),
+                    drv.lookups_used,
+                    base.lookups_used
+                );
+            }
+        }
+    }
+}
