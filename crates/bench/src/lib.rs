@@ -2,16 +2,23 @@
 //!
 //! Benchmark harness for the `O(Δ·N)` diagnosis driver: sweeps all fourteen
 //! interconnection-network families of §5 across multiple sizes and fault
-//! loads, runs the sequential driver, the parallel driver (1/2/4/8 threads)
-//! and the naive full-table baseline on identical instances, asserts the
-//! three agree with the planted truth, and renders the measurements as a
-//! machine-readable JSON trajectory file (`BENCH_<pr>.json`).
+//! loads, runs the sequential driver, the parallel driver (1/2/4/8 threads),
+//! the naive full-table baseline **and the event-level distributed
+//! simulator** on identical instances, asserts all four agree with the
+//! planted truth, and renders the measurements as a machine-readable JSON
+//! trajectory file (`BENCH_<pr>.json`).
 //!
 //! The interesting measured quantity besides wall time is **syndrome
 //! lookups**: the §6 claim is that the driver consults `O(Δ·N)` entries
 //! while any table-first algorithm pays for all `Σ C(deg u, 2)` of them.
 //! Both counts come from the same [`mmdiag_syndrome::SyndromeSource`]
 //! accounting, so the comparison is apples-to-apples.
+//!
+//! The distsim leg additionally checks, per cell, that the simulator's
+//! observed (rounds, messages) under unit latencies reproduce the
+//! closed-form `mmdiag_distsim::plan` cost model exactly; the separate
+//! [`distsim_scenarios`] sweep exercises the regimes only the simulator
+//! can express — latency skew and mid-protocol fault injection.
 //!
 //! Criterion is not available in the offline build environment; the
 //! `benches/sweep.rs` target (`harness = false`) and the `mmdiag-bench`
@@ -21,6 +28,7 @@
 
 use mmdiag_baselines::diagnose_baseline;
 use mmdiag_core::{diagnose, diagnose_parallel};
+use mmdiag_distsim::{plan, simulate, FaultTimeline, LatencyModel};
 use mmdiag_syndrome::{FaultSet, OracleSyndrome, SyndromeSource, TesterBehavior};
 use mmdiag_topology::families::{
     Arrangement, AugmentedCube, AugmentedKAryNCube, CrossedCube, EnhancedHypercube,
@@ -101,6 +109,27 @@ pub struct ParallelLeg {
     pub nanos: u128,
 }
 
+/// The event-level simulator's unit-latency leg of one cell.
+#[derive(Clone, Debug)]
+pub struct DistsimLeg {
+    /// Wall time of the simulation (ns).
+    pub nanos: u128,
+    /// Concurrent probe-phase wave depth (max over parts).
+    pub probe_rounds: usize,
+    /// Total probe-phase exchanges across all parts.
+    pub probe_messages: usize,
+    /// Growth-wave depth.
+    pub growth_rounds: usize,
+    /// Virtual time the whole protocol took.
+    pub virtual_time: u64,
+    /// Messages the event engine delivered.
+    pub events: u64,
+    /// Observed (rounds, messages) equal the `plan` cost model per part.
+    pub matches_model: bool,
+    /// Simulated diagnosis equals the driver's (faults + certified part).
+    pub agree: bool,
+}
+
 /// All measurements for one (instance, fault set, behavior) cell.
 #[derive(Clone, Debug)]
 pub struct RunRecord {
@@ -130,11 +159,17 @@ pub struct RunRecord {
     pub driver_probes: usize,
     /// Parallel-driver legs, one per [`THREAD_SWEEP`] entry.
     pub parallel: Vec<ParallelLeg>,
-    /// Baseline wall time (ns).
+    /// Baseline wall time (ns); 0 when the baseline was skipped.
     pub baseline_nanos: u128,
-    /// Baseline syndrome lookups (always `table_entries`).
+    /// Baseline syndrome lookups (always `table_entries`); 0 when skipped.
     pub baseline_lookups: u64,
-    /// Did driver, parallel driver and baseline all return the planted set?
+    /// Was the baseline leg skipped (quick mode, largest instance per
+    /// family — the full table there dominates CI wall time)?
+    pub baseline_skipped: bool,
+    /// The event-level simulator's leg (unit latencies, static faults).
+    pub distsim: DistsimLeg,
+    /// Did driver, parallel driver, baseline (unless skipped) and the
+    /// event simulator all return the planted set?
     pub agree: bool,
 }
 
@@ -179,9 +214,21 @@ pub fn table_size<T: Topology + ?Sized>(g: &T) -> u64 {
 }
 
 /// Run one (instance, fault count, behavior) cell: sequential driver,
-/// parallel driver at every [`THREAD_SWEEP`] width, baseline; panic if any
-/// of them disagrees with the planted truth.
+/// parallel driver at every [`THREAD_SWEEP`] width, baseline, event-level
+/// simulator; panic if any of them disagrees with the planted truth.
 pub fn run_cell(inst: &Instance, faults: &FaultSet, behavior: TesterBehavior) -> RunRecord {
+    run_cell_opts(inst, faults, behavior, true)
+}
+
+/// [`run_cell`] with the baseline leg optional — quick mode skips it on
+/// the largest instance per family, where the full syndrome table
+/// dominates CI wall time.
+pub fn run_cell_opts(
+    inst: &Instance,
+    faults: &FaultSet,
+    behavior: TesterBehavior,
+    with_baseline: bool,
+) -> RunRecord {
     let g = &inst.graph;
     let s = OracleSyndrome::new(faults.clone(), behavior);
 
@@ -208,13 +255,49 @@ pub fn run_cell(inst: &Instance, faults: &FaultSet, behavior: TesterBehavior) ->
         par_agree &= par.faults == drv.faults && par.certified_part == drv.certified_part;
     }
 
-    s.reset_lookups();
+    // Event-level simulator leg: unit latencies, static timeline — the
+    // regime where observation must reproduce both the cost model and the
+    // driver exactly.
+    let timeline = FaultTimeline::static_faults(faults.clone(), behavior);
     let t0 = Instant::now();
-    let base =
-        diagnose_baseline(g, &s).unwrap_or_else(|e| panic!("{}: baseline failed: {e}", g.name()));
-    let baseline_nanos = t0.elapsed().as_nanos();
-    let agree = par_agree && base.faults == drv.faults;
-    assert!(agree, "{}: driver/parallel/baseline disagree", g.name());
+    let sim = simulate(g, &timeline, &LatencyModel::Unit)
+        .unwrap_or_else(|e| panic!("{}: distsim failed: {e}", g.name()));
+    let sim_nanos = t0.elapsed().as_nanos();
+    let model = plan(g);
+    let matches_model = match sim.check_against_plan(&model) {
+        Ok(()) => true,
+        Err(e) => panic!("{}: simulator diverged from cost model: {e}", g.name()),
+    };
+    let sim_agree = sim.faults == drv.faults
+        && sim.certified_part == drv.certified_part
+        && sim.probes_until_certificate == drv.probes;
+    assert!(sim_agree, "{}: simulator/driver disagree", g.name());
+    let distsim = DistsimLeg {
+        nanos: sim_nanos,
+        probe_rounds: sim.probes.iter().map(|p| p.rounds).max().unwrap_or(0),
+        probe_messages: sim.probes.iter().map(|p| p.messages).sum(),
+        growth_rounds: sim.growth.rounds,
+        virtual_time: sim.total_time,
+        events: sim.events_delivered,
+        matches_model,
+        agree: sim_agree,
+    };
+
+    let (baseline_nanos, baseline_lookups, base_agree) = if with_baseline {
+        s.reset_lookups();
+        let t0 = Instant::now();
+        let base = diagnose_baseline(g, &s)
+            .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", g.name()));
+        (
+            t0.elapsed().as_nanos(),
+            base.lookups_used,
+            base.faults == drv.faults,
+        )
+    } else {
+        (0, 0, true)
+    };
+    let agree = par_agree && base_agree && sim_agree;
+    assert!(agree, "{}: driver/parallel/baseline/sim disagree", g.name());
 
     RunRecord {
         family: inst.family,
@@ -231,34 +314,185 @@ pub fn run_cell(inst: &Instance, faults: &FaultSet, behavior: TesterBehavior) ->
         driver_probes: drv.probes,
         parallel,
         baseline_nanos,
-        baseline_lookups: base.lookups_used,
+        baseline_lookups,
+        baseline_skipped: !with_baseline,
+        distsim,
         agree,
     }
 }
 
 /// Sweep a catalog: for every instance, every [`fault_sizes`] load under a
 /// seeded `Random` tester behaviour, plus the full-bound load under the
-/// adversarial `AllZero` behaviour.
-pub fn sweep(catalog: &[Instance], progress: &mut dyn FnMut(&RunRecord)) -> Vec<RunRecord> {
+/// adversarial `AllZero` behaviour. In `quick` mode the baseline leg is
+/// skipped on the largest instance of each family, keeping the CI smoke
+/// run well under ~10 s.
+pub fn sweep(
+    catalog: &[Instance],
+    quick: bool,
+    progress: &mut dyn FnMut(&RunRecord),
+) -> Vec<RunRecord> {
+    // Largest node count per family — the baseline-skip set in quick mode.
+    let mut family_max: Vec<(&'static str, usize)> = Vec::new();
+    for inst in catalog {
+        let n = inst.graph.node_count();
+        match family_max.iter_mut().find(|(f, _)| *f == inst.family) {
+            Some(entry) => entry.1 = entry.1.max(n),
+            None => family_max.push((inst.family, n)),
+        }
+    }
     let mut records = Vec::new();
     for (i, inst) in catalog.iter().enumerate() {
         let g = &inst.graph;
         g.check_partition_preconditions()
             .unwrap_or_else(|e| panic!("catalog instance unusable: {e}"));
+        let is_family_largest = family_max
+            .iter()
+            .any(|&(f, n)| f == inst.family && n == g.node_count());
+        let with_baseline = !(quick && is_family_largest);
         let bound = g.driver_fault_bound();
         for (j, &k) in fault_sizes(bound).iter().enumerate() {
             let salt = (i as u64) << 16 | j as u64;
             let faults = scatter_faults(g.node_count(), k, salt);
-            let rec = run_cell(inst, &faults, TesterBehavior::Random { seed: salt });
+            let rec = run_cell_opts(
+                inst,
+                &faults,
+                TesterBehavior::Random { seed: salt },
+                with_baseline,
+            );
             progress(&rec);
             records.push(rec);
         }
         let faults = scatter_faults(g.node_count(), bound, 0xA110_0000 + i as u64);
-        let rec = run_cell(inst, &faults, TesterBehavior::AllZero);
+        let rec = run_cell_opts(inst, &faults, TesterBehavior::AllZero, with_baseline);
         progress(&rec);
         records.push(rec);
     }
     records
+}
+
+/// One simulator-only scenario — a regime the closed-form cost model (and
+/// the centralised driver) cannot express.
+#[derive(Clone, Debug)]
+pub struct ScenarioRecord {
+    /// Family key.
+    pub family: &'static str,
+    /// Instance display name.
+    pub instance: String,
+    /// `"latency_skew"` or `"mid_injection"`.
+    pub kind: &'static str,
+    /// Human-readable scenario parameters.
+    pub detail: String,
+    /// Virtual completion time of the unit-latency reference run.
+    pub unit_virtual_time: u64,
+    /// Virtual completion time of the scenario run.
+    pub virtual_time: u64,
+    /// Deepest observed wave (probe or growth) in the scenario run.
+    pub max_wave_depth: usize,
+    /// Deepest wave the unit-latency cost model predicts.
+    pub model_wave_depth: usize,
+    /// Faults the scenario run diagnosed.
+    pub diagnosed: usize,
+    /// Faults in force once the timeline finished.
+    pub final_faults: usize,
+    /// Did the scenario behave as the regime predicts (see
+    /// [`distsim_scenarios`])?
+    pub ok: bool,
+}
+
+/// Run the simulator-only sweep: per instance, one latency-skew scenario
+/// (seeded-random link latencies; the diagnosis must not change, virtual
+/// time must stretch) and one mid-protocol injection scenario (a healthy
+/// node turns faulty after the probe phase; the diagnosis must pick it up
+/// even though every probe certified without it).
+pub fn distsim_scenarios(catalog: &[Instance]) -> Vec<ScenarioRecord> {
+    let mut out = Vec::new();
+    for (i, inst) in catalog.iter().enumerate() {
+        let g = &inst.graph;
+        let n = g.node_count();
+        let bound = g.driver_fault_bound();
+        let model = plan(g);
+        let model_wave_depth = model.probe_rounds_concurrent.max(model.growth_rounds_worst);
+
+        // --- Latency skew: same static faults, jittered links.
+        let faults = scatter_faults(n, bound, 0x5CE_0000 + i as u64);
+        let behavior = TesterBehavior::Random { seed: i as u64 };
+        let timeline = FaultTimeline::static_faults(faults.clone(), behavior);
+        let unit = simulate(g, &timeline, &LatencyModel::Unit)
+            .unwrap_or_else(|e| panic!("{}: unit sim failed: {e}", g.name()));
+        let skew = LatencyModel::SeededRandom {
+            seed: 0xBEEF + i as u64,
+            min: 1,
+            max: 8,
+        };
+        let skewed = simulate(g, &timeline, &skew)
+            .unwrap_or_else(|e| panic!("{}: skewed sim failed: {e}", g.name()));
+        let skew_ok = skewed.faults == faults.members()
+            && skewed.faults == unit.faults
+            && skewed.total_time > unit.total_time;
+        assert!(skew_ok, "{}: latency skew changed the diagnosis", g.name());
+        out.push(ScenarioRecord {
+            family: inst.family,
+            instance: g.name(),
+            kind: "latency_skew",
+            detail: format!("seeded-random link latencies 1..=8, {} faults", bound),
+            unit_virtual_time: unit.total_time,
+            virtual_time: skewed.total_time,
+            max_wave_depth: skewed
+                .probes
+                .iter()
+                .map(|p| p.rounds)
+                .max()
+                .unwrap_or(0)
+                .max(skewed.growth.rounds),
+            model_wave_depth,
+            diagnosed: skewed.faults.len(),
+            final_faults: faults.len(),
+            ok: skew_ok,
+        });
+
+        // --- Mid-protocol injection: base load below the bound, one
+        // healthy victim turns faulty right after the probe phase.
+        let base_load = bound.saturating_sub(1) / 2;
+        let base = scatter_faults(n, base_load, 0x1EC7_0000 + i as u64);
+        let victim = (0..n)
+            .find(|&u| !base.contains(u) && (0..g.part_count()).all(|p| g.representative(p) != u))
+            .expect("some non-representative healthy node exists");
+        let onset = unit.growth.started + 1;
+        let inj_timeline = FaultTimeline::with_onsets(base.clone(), &[(onset, victim)], behavior);
+        let injected = simulate(g, &inj_timeline, &LatencyModel::Unit)
+            .unwrap_or_else(|e| panic!("{}: injection sim failed: {e}", g.name()));
+        let expected: Vec<usize> = inj_timeline.final_faults().members().to_vec();
+        let inj_ok = injected.faults == expected;
+        assert!(
+            inj_ok,
+            "{}: mid-protocol injection not diagnosed: got {:?}, want {expected:?}",
+            g.name(),
+            injected.faults
+        );
+        out.push(ScenarioRecord {
+            family: inst.family,
+            instance: g.name(),
+            kind: "mid_injection",
+            detail: format!(
+                "{base_load} base faults, node {victim} turns faulty at t={onset} \
+                 (after all probes certified)"
+            ),
+            unit_virtual_time: unit.total_time,
+            virtual_time: injected.total_time,
+            max_wave_depth: injected
+                .probes
+                .iter()
+                .map(|p| p.rounds)
+                .max()
+                .unwrap_or(0)
+                .max(injected.growth.rounds),
+            model_wave_depth,
+            diagnosed: injected.faults.len(),
+            final_faults: expected.len(),
+            ok: inj_ok,
+        });
+    }
+    out
 }
 
 fn json_escape(s: &str) -> String {
@@ -275,11 +509,15 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Render records as the `BENCH_<pr>.json` trajectory document.
+/// Render records as the `BENCH_<pr>.json` trajectory document
+/// (`mmdiag-bench/v1` schema; the per-record `distsim` object, the
+/// `baseline.skipped` flag and the top-level `distsim_scenarios` array are
+/// additive fields — v1 readers keying on the original fields are
+/// unaffected).
 ///
 /// Hand-rolled serialisation — serde is not available offline, and the
 /// schema is flat enough that this stays readable.
-pub fn to_json(bench_id: &str, records: &[RunRecord]) -> String {
+pub fn to_json(bench_id: &str, records: &[RunRecord], scenarios: &[ScenarioRecord]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"mmdiag-bench/v1\",\n");
@@ -300,8 +538,23 @@ pub fn to_json(bench_id: &str, records: &[RunRecord]) -> String {
             .iter()
             .map(|leg| format!("{{\"threads\": {}, \"nanos\": {}}}", leg.threads, leg.nanos))
             .collect();
-        let speedup_vs_baseline = r.baseline_nanos as f64 / r.driver_nanos.max(1) as f64;
-        let lookup_ratio = r.baseline_lookups as f64 / r.driver_lookups.max(1) as f64;
+        // Skipped-baseline cells get JSON nulls, not a misleading 0.000 —
+        // trajectory readers averaging speedups across BENCH_<pr>.json
+        // files must not silently ingest zeros.
+        let (speedup_vs_baseline, lookup_ratio) = if r.baseline_skipped {
+            ("null".to_string(), "null".to_string())
+        } else {
+            (
+                format!(
+                    "{:.3}",
+                    r.baseline_nanos as f64 / r.driver_nanos.max(1) as f64
+                ),
+                format!(
+                    "{:.3}",
+                    r.baseline_lookups as f64 / r.driver_lookups.max(1) as f64
+                ),
+            )
+        };
         out.push_str(&format!(
             concat!(
                 "    {{\"family\": \"{}\", \"instance\": \"{}\", \"nodes\": {}, ",
@@ -309,8 +562,12 @@ pub fn to_json(bench_id: &str, records: &[RunRecord]) -> String {
                 "\"num_faults\": {}, \"behavior\": \"{}\", \"table_entries\": {}, ",
                 "\"driver\": {{\"nanos\": {}, \"lookups\": {}, \"probes\": {}}}, ",
                 "\"parallel\": [{}], ",
-                "\"baseline\": {{\"nanos\": {}, \"lookups\": {}}}, ",
-                "\"speedup_vs_baseline\": {:.3}, \"lookup_ratio\": {:.3}, ",
+                "\"baseline\": {{\"nanos\": {}, \"lookups\": {}, \"skipped\": {}}}, ",
+                "\"distsim\": {{\"nanos\": {}, \"probe_rounds\": {}, ",
+                "\"probe_messages\": {}, \"growth_rounds\": {}, ",
+                "\"virtual_time\": {}, \"events\": {}, \"matches_model\": {}, ",
+                "\"agree\": {}}}, ",
+                "\"speedup_vs_baseline\": {}, \"lookup_ratio\": {}, ",
                 "\"agree\": {}}}{}\n"
             ),
             json_escape(r.family),
@@ -328,10 +585,43 @@ pub fn to_json(bench_id: &str, records: &[RunRecord]) -> String {
             par.join(", "),
             r.baseline_nanos,
             r.baseline_lookups,
+            r.baseline_skipped,
+            r.distsim.nanos,
+            r.distsim.probe_rounds,
+            r.distsim.probe_messages,
+            r.distsim.growth_rounds,
+            r.distsim.virtual_time,
+            r.distsim.events,
+            r.distsim.matches_model,
+            r.distsim.agree,
             speedup_vs_baseline,
             lookup_ratio,
             r.agree,
             if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"distsim_scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"family\": \"{}\", \"instance\": \"{}\", \"kind\": \"{}\", ",
+                "\"detail\": \"{}\", \"unit_virtual_time\": {}, \"virtual_time\": {}, ",
+                "\"max_wave_depth\": {}, \"model_wave_depth\": {}, ",
+                "\"diagnosed\": {}, \"final_faults\": {}, \"ok\": {}}}{}\n"
+            ),
+            json_escape(s.family),
+            json_escape(&s.instance),
+            json_escape(s.kind),
+            json_escape(&s.detail),
+            s.unit_virtual_time,
+            s.virtual_time,
+            s.max_wave_depth,
+            s.model_wave_depth,
+            s.diagnosed,
+            s.final_faults,
+            s.ok,
+            if i + 1 == scenarios.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -395,6 +685,7 @@ mod tests {
         assert_eq!(rec.num_faults, 3);
         assert_eq!(rec.table_entries, 128 * 21);
         assert_eq!(rec.baseline_lookups, 128 * 21);
+        assert!(!rec.baseline_skipped);
         assert!(
             rec.driver_lookups < rec.baseline_lookups,
             "driver {} vs table {}",
@@ -402,13 +693,59 @@ mod tests {
             rec.baseline_lookups
         );
         assert_eq!(rec.parallel.len(), THREAD_SWEEP.len());
+        // The simulator leg agreed with both the cost model and the driver.
+        assert!(rec.distsim.matches_model);
+        assert!(rec.distsim.agree);
+        assert_eq!(rec.distsim.probe_rounds, 4, "Q_4 subcube eccentricity");
+        assert_eq!(rec.distsim.probe_messages, 8 * 16 * 4);
+    }
+
+    #[test]
+    fn quick_sweep_skips_baseline_on_largest_instance_per_family() {
+        // A two-size single-family catalog: quick mode must keep the
+        // baseline on the small instance and skip it on the large one.
+        let catalog = vec![
+            Instance::new("hypercube", &Hypercube::new(7)),
+            Instance::new("hypercube", &Hypercube::new(8)),
+        ];
+        let records = sweep(&catalog, true, &mut |_| {});
+        for rec in &records {
+            let skipped = rec.nodes == 256;
+            assert_eq!(
+                rec.baseline_skipped, skipped,
+                "{}: baseline skip must target only the largest instance",
+                rec.instance
+            );
+            assert_eq!(rec.baseline_lookups == 0, skipped);
+            assert!(rec.agree);
+        }
+        // Skipped cells render null ratios, never a misleading 0.000.
+        let json = to_json("BENCH_TEST", &records, &[]);
+        assert!(json.contains("\"speedup_vs_baseline\": null"));
+        assert!(!json.contains("\"speedup_vs_baseline\": 0.000"));
+        // Full mode never skips.
+        let records = sweep(&catalog, false, &mut |_| {});
+        assert!(records.iter().all(|r| !r.baseline_skipped));
+    }
+
+    #[test]
+    fn scenarios_cover_skew_and_injection() {
+        let catalog = vec![Instance::new("hypercube", &Hypercube::new(7))];
+        let scenarios = distsim_scenarios(&catalog);
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].kind, "latency_skew");
+        assert!(scenarios[0].virtual_time > scenarios[0].unit_virtual_time);
+        assert_eq!(scenarios[1].kind, "mid_injection");
+        assert_eq!(scenarios[1].diagnosed, scenarios[1].final_faults);
+        assert!(scenarios.iter().all(|s| s.ok));
     }
 
     #[test]
     fn json_is_well_formed_enough() {
         let inst = Instance::new("hypercube", &Hypercube::new(7));
         let rec = run_cell(&inst, &scatter_faults(128, 1, 3), TesterBehavior::AllZero);
-        let json = to_json("BENCH_TEST", &[rec]);
+        let scenarios = distsim_scenarios(&[inst]);
+        let json = to_json("BENCH_TEST", &[rec], &scenarios);
         // Balanced braces/brackets and the fields the trajectory reader keys on.
         assert_eq!(
             json.matches('{').count(),
@@ -422,6 +759,11 @@ mod tests {
             "\"families_covered\": 1",
             "\"driver\"",
             "\"baseline\"",
+            "\"distsim\"",
+            "\"matches_model\": true",
+            "\"distsim_scenarios\"",
+            "\"latency_skew\"",
+            "\"mid_injection\"",
             "\"agree\": true",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");

@@ -1,19 +1,26 @@
 //! The `mmdiag-bench` harness binary.
 //!
 //! Sweeps the family catalog, cross-checks driver vs parallel driver vs
-//! baseline on every cell, and writes the machine-readable trajectory file.
+//! baseline vs event-level simulator on every cell, runs the
+//! simulator-only scenario sweep (latency skew, mid-protocol injection),
+//! and writes the machine-readable trajectory file.
 //!
 //! ```text
 //! mmdiag-bench [--quick] [--out PATH]
-//!   --quick   one (smallest) instance per family instead of the full sweep
-//!   --out     output path (default BENCH_1.json in the working directory)
+//!   --quick   one (smallest) instance per family instead of the full
+//!             sweep; also skips the baseline on the largest instance per
+//!             family so the smoke run stays well under ~10 s
+//!   --out     output path (default BENCH_2.json in the working directory)
 //! ```
 
-use mmdiag_bench::{full_catalog, small_catalog, sweep, to_json};
+use mmdiag_bench::{distsim_scenarios, full_catalog, small_catalog, sweep, to_json};
+
+/// The trajectory id this binary emits (`BENCH_<pr>`).
+const BENCH_ID: &str = "BENCH_2";
 
 fn main() {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_1.json");
+    let mut out_path = format!("{BENCH_ID}.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,33 +44,77 @@ fn main() {
         full_catalog()
     };
     eprintln!(
-        "sweeping {} instances across 14 families (driver / parallel x4 / baseline)…",
+        "sweeping {} instances across 14 families (driver / parallel x4 / baseline / distsim)…",
         catalog.len()
     );
     eprintln!(
-        "{:<22} {:>6} {:>7} {:>12} {:>12} {:>9} {:>9}",
-        "instance", "nodes", "faults", "driver µs", "baseline µs", "speedup", "lookup×"
+        "{:<22} {:>6} {:>7} {:>12} {:>12} {:>9} {:>9} {:>6}",
+        "instance", "nodes", "faults", "driver µs", "baseline µs", "speedup", "lookup×", "sim"
     );
-    let records = sweep(&catalog, &mut |rec| {
+    let records = sweep(&catalog, quick, &mut |rec| {
         eprintln!(
-            "{:<22} {:>6} {:>7} {:>12.1} {:>12.1} {:>8.1}x {:>8.1}x",
+            "{:<22} {:>6} {:>7} {:>12.1} {:>12} {:>9} {:>9} {:>6}",
             rec.instance,
             rec.nodes,
             rec.num_faults,
             rec.driver_nanos as f64 / 1e3,
-            rec.baseline_nanos as f64 / 1e3,
-            rec.baseline_nanos as f64 / rec.driver_nanos.max(1) as f64,
-            rec.baseline_lookups as f64 / rec.driver_lookups.max(1) as f64,
+            if rec.baseline_skipped {
+                "skip".to_string()
+            } else {
+                format!("{:.1}", rec.baseline_nanos as f64 / 1e3)
+            },
+            if rec.baseline_skipped {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}x",
+                    rec.baseline_nanos as f64 / rec.driver_nanos.max(1) as f64
+                )
+            },
+            if rec.baseline_skipped {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}x",
+                    rec.baseline_lookups as f64 / rec.driver_lookups.max(1) as f64
+                )
+            },
+            if rec.distsim.matches_model && rec.distsim.agree {
+                "ok"
+            } else {
+                "FAIL"
+            },
         );
     });
 
-    let disagreements = records.iter().filter(|r| !r.agree).count();
-    let json = to_json("BENCH_1", &records);
+    eprintln!("running distsim scenario sweep (latency skew + mid-protocol injection)…");
+    let scenarios = distsim_scenarios(&catalog);
+    for s in &scenarios {
+        eprintln!(
+            "{:<22} {:<13} vtime {:>5} (unit {:>4})  depth {:>2} (model {:>2})  {}",
+            s.instance,
+            s.kind,
+            s.virtual_time,
+            s.unit_virtual_time,
+            s.max_wave_depth,
+            s.model_wave_depth,
+            if s.ok { "ok" } else { "FAIL" }
+        );
+    }
+
+    let disagreements = records.iter().filter(|r| !r.agree).count()
+        + records
+            .iter()
+            .filter(|r| !r.distsim.matches_model || !r.distsim.agree)
+            .count()
+        + scenarios.iter().filter(|s| !s.ok).count();
+    let json = to_json(BENCH_ID, &records, &scenarios);
     std::fs::write(&out_path, &json)
         .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
     eprintln!(
-        "\n{} records ({} families) -> {out_path}; disagreements: {disagreements}",
+        "\n{} records + {} scenarios ({} families) -> {out_path}; disagreements: {disagreements}",
         records.len(),
+        scenarios.len(),
         mmdiag_bench::families_covered(&records),
     );
     if disagreements > 0 {

@@ -1,0 +1,159 @@
+//! Mid-protocol fault injection.
+//!
+//! The centralised driver diagnoses a *static* syndrome; the event
+//! simulator instead evaluates every comparison test at the virtual time
+//! the exchange completes, against the fault set in force at that instant.
+//! A [`FaultTimeline`] is a base fault set plus a schedule of onsets —
+//! nodes that become (permanently) faulty once the clock reaches their
+//! onset time. MM-model faults are responsive, so an onset changes *test
+//! results* from that moment on, never the message flow.
+
+use crate::event::Time;
+use mmdiag_syndrome::{ground_truth, FaultSet, TestResult, TesterBehavior};
+use mmdiag_topology::NodeId;
+
+/// A time-indexed fault set: base faults active from time 0, plus nodes
+/// that turn faulty at configurable onset times.
+#[derive(Clone, Debug)]
+pub struct FaultTimeline {
+    behavior: TesterBehavior,
+    /// `boundaries[i]` is the time from which `snapshots[i]` is in force;
+    /// `boundaries[0] == 0` always.
+    boundaries: Vec<Time>,
+    snapshots: Vec<FaultSet>,
+}
+
+impl FaultTimeline {
+    /// A timeline with no onsets — the static case, semantically identical
+    /// to handing `faults` to an `OracleSyndrome` with the same behaviour.
+    pub fn static_faults(faults: FaultSet, behavior: TesterBehavior) -> Self {
+        FaultTimeline {
+            behavior,
+            boundaries: vec![0],
+            snapshots: vec![faults],
+        }
+    }
+
+    /// A timeline where each `(onset, node)` pair turns `node` faulty from
+    /// virtual time `onset` on (onset 0 is equivalent to a base fault).
+    /// Duplicate nodes keep their earliest onset.
+    pub fn with_onsets(
+        base: FaultSet,
+        onsets: &[(Time, NodeId)],
+        behavior: TesterBehavior,
+    ) -> Self {
+        let n = base.universe();
+        let mut sorted: Vec<(Time, NodeId)> = onsets.to_vec();
+        sorted.sort_unstable();
+        let mut boundaries = vec![0];
+        let mut snapshots = vec![base];
+        for &(t, node) in &sorted {
+            assert!(node < n, "onset node {node} out of range (n = {n})");
+            let cur = snapshots.last().unwrap();
+            if cur.contains(node) {
+                continue; // already faulty by this time
+            }
+            let mut members: Vec<NodeId> = cur.members().to_vec();
+            members.push(node);
+            let next = FaultSet::new(n, &members);
+            if t == *boundaries.last().unwrap() {
+                *snapshots.last_mut().unwrap() = next;
+            } else {
+                boundaries.push(t);
+                snapshots.push(next);
+            }
+        }
+        FaultTimeline {
+            behavior,
+            boundaries,
+            snapshots,
+        }
+    }
+
+    /// Number of nodes in the network this timeline is defined over.
+    pub fn universe(&self) -> usize {
+        self.snapshots[0].universe()
+    }
+
+    /// The faulty-tester behaviour used for every test on this timeline.
+    pub fn behavior(&self) -> TesterBehavior {
+        self.behavior
+    }
+
+    /// Whether the timeline has no onsets after time 0.
+    pub fn is_static(&self) -> bool {
+        self.boundaries.len() == 1
+    }
+
+    /// The fault set in force at virtual time `t`.
+    pub fn active_at(&self, t: Time) -> &FaultSet {
+        // boundaries is sorted; find the last boundary ≤ t.
+        let idx = self.boundaries.partition_point(|&b| b <= t) - 1;
+        &self.snapshots[idx]
+    }
+
+    /// The fault set after every onset has fired — what a post-mortem
+    /// (re-)diagnosis of the network would be graded against.
+    pub fn final_faults(&self) -> &FaultSet {
+        self.snapshots.last().unwrap()
+    }
+
+    /// The MM-model result of test `s_u(v, w)` completed at virtual time
+    /// `t`, under this timeline's behaviour convention.
+    pub fn result(&self, t: Time, u: NodeId, v: NodeId, w: NodeId) -> TestResult {
+        ground_truth(self.active_at(t), u, v, w, self.behavior)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_timeline_never_changes() {
+        let tl = FaultTimeline::static_faults(FaultSet::new(8, &[3]), TesterBehavior::AllZero);
+        assert!(tl.is_static());
+        for t in [0, 1, 1000] {
+            assert_eq!(tl.active_at(t).members(), &[3]);
+        }
+        assert_eq!(tl.final_faults().members(), &[3]);
+    }
+
+    #[test]
+    fn onsets_accumulate_in_time_order() {
+        let tl = FaultTimeline::with_onsets(
+            FaultSet::new(8, &[1]),
+            &[(5, 4), (2, 6), (5, 7)],
+            TesterBehavior::Truthful,
+        );
+        assert!(!tl.is_static());
+        assert_eq!(tl.active_at(0).members(), &[1]);
+        assert_eq!(tl.active_at(1).members(), &[1]);
+        assert_eq!(tl.active_at(2).members(), &[1, 6]);
+        assert_eq!(tl.active_at(4).members(), &[1, 6]);
+        assert_eq!(tl.active_at(5).members(), &[1, 4, 6, 7]);
+        assert_eq!(tl.final_faults().members(), &[1, 4, 6, 7]);
+    }
+
+    #[test]
+    fn onset_at_zero_merges_with_base() {
+        let tl = FaultTimeline::with_onsets(
+            FaultSet::new(8, &[0]),
+            &[(0, 2), (0, 0)],
+            TesterBehavior::AllOne,
+        );
+        assert!(tl.is_static(), "time-0 onsets fold into the base set");
+        assert_eq!(tl.active_at(0).members(), &[0, 2]);
+    }
+
+    #[test]
+    fn results_flip_at_the_onset() {
+        // Node 2 turns faulty at t = 10: a healthy tester's view of the
+        // pair (2, 3) flips from Agree to Disagree exactly there.
+        let tl =
+            FaultTimeline::with_onsets(FaultSet::empty(8), &[(10, 2)], TesterBehavior::Truthful);
+        assert!(tl.result(9, 0, 2, 3).is_agree());
+        assert!(!tl.result(10, 0, 2, 3).is_agree());
+        assert!(!tl.result(11, 0, 2, 3).is_agree());
+    }
+}

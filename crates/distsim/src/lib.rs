@@ -1,14 +1,15 @@
 //! # mmdiag-distsim
 //!
-//! Round/message-complexity model of a *distributed* deployment of the
-//! paper's diagnosis procedure — the next subsystem named in ROADMAP.md.
+//! Distributed deployment of the paper's diagnosis procedure, modelled two
+//! ways that are validated against each other:
 //!
 //! The centralised driver reads a syndrome; in a distributed deployment each
 //! processor holds only its own comparison results and the probe of a part
-//! becomes a synchronous message-passing computation: the representative
-//! floods the part, one tree level per round, exactly mirroring the levels
-//! `U_1 ⊆ U_2 ⊆ …` of `Set_Builder`. This crate quantifies that deployment
-//! *before* it is built:
+//! becomes a message-passing computation: the representative floods the
+//! part, one tree level per round, exactly mirroring the levels
+//! `U_1 ⊆ U_2 ⊆ …` of `Set_Builder`.
+//!
+//! **The closed-form cost model** quantifies that deployment on paper:
 //!
 //! * [`probe_rounds`] — rounds and messages for one part's restricted probe
 //!   (rounds = in-part eccentricity of the representative, messages = one
@@ -18,11 +19,38 @@
 //!   the unrestricted growth from the certified seed;
 //! * [`SimPlan`] / [`ProbeCost`] — the resulting cost sheet.
 //!
-//! A full event-level simulator (message queues, failures mid-protocol)
-//! remains future work; the cost model here is the honest, tested surface
-//! the bench trajectory can already track.
+//! **The event-level simulator** executes the same protocol as timestamped
+//! messages and observes what the cost sheet predicts:
+//!
+//! * [`event`] — a deterministic priority queue of timestamped messages;
+//! * [`link`] — per-link latency models (unit, uniform, per-dimension
+//!   skew, seeded-random jitter);
+//! * [`inject`] — fault timelines with mid-protocol onsets;
+//! * [`node`] — per-processor wave state and the §4.1 level rules;
+//! * [`sim`] — [`simulate`]: concurrent restricted probes, certified-seed
+//!   selection, unrestricted growth, yielding a [`SimReport`].
+//!
+//! Under unit latencies the simulator's observed (rounds, messages)
+//! reproduce the cost model exactly, and on a static fault timeline its
+//! diagnosis is bit-identical to `mmdiag_core::diagnose` — asserted per
+//! cell by the bench sweep and the workspace cross-check suite. Skewed
+//! latencies and mid-protocol onsets are the regimes only the simulator
+//! can express.
 
 #![warn(missing_docs)]
+
+pub mod event;
+pub mod inject;
+pub mod link;
+pub mod node;
+pub mod sim;
+
+pub use event::{EventQueue, Time};
+pub use inject::FaultTimeline;
+pub use link::LatencyModel;
+pub use sim::{
+    simulate, simulate_unchecked, simulate_with_plan, GrowthTrace, ProbeTrace, SimError, SimReport,
+};
 
 use mmdiag_topology::algorithms::bfs_distances;
 use mmdiag_topology::{NodeId, Partitionable, Topology};

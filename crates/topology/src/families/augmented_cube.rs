@@ -20,6 +20,7 @@
 use crate::families::minimal_partition_dim;
 use crate::graph::{NodeId, Topology};
 use crate::partition::Partitionable;
+use std::sync::OnceLock;
 
 /// The augmented cube `AQ_n` with a prefix decomposition into `AQ_m`
 /// copies.
@@ -27,6 +28,8 @@ use crate::partition::Partitionable;
 pub struct AugmentedCube {
     n: usize,
     m: usize,
+    /// Memoised certified fault capacity (see `driver_fault_bound`).
+    capacity: OnceLock<usize>,
 }
 
 impl AugmentedCube {
@@ -37,13 +40,21 @@ impl AugmentedCube {
         let m = minimal_partition_dim(2, n, 2 * n - 1).unwrap_or_else(|| {
             panic!("AQ_{n}: no partition dimension satisfies Theorem 3 (need n ≥ 10)")
         });
-        AugmentedCube { n, m }
+        AugmentedCube {
+            n,
+            m,
+            capacity: OnceLock::new(),
+        }
     }
 
     /// Build `AQ_n` with an explicit subcube dimension.
     pub fn with_partition_dim(n: usize, m: usize) -> Self {
         assert!(m >= 1 && m < n);
-        AugmentedCube { n, m }
+        AugmentedCube {
+            n,
+            m,
+            capacity: OnceLock::new(),
+        }
     }
 
     /// Dimension `n`.
@@ -107,9 +118,11 @@ impl Partitionable for AugmentedCube {
         // `AQ_m` parts are extremely dense (degree 2m − 1), so their probe
         // trees are shallow: 32-node `AQ_5` parts certify only 14 internal
         // nodes against δ = 2n − 1 = 19 for `AQ_10`. Cap the bound at what
-        // every part can certify. O(Δ·N) per call for raw
-        // family structs — wrap in `Cached` to memoise on hot paths.
-        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        // every part can certify. The O(Δ·N) capacity scan runs once per
+        // struct, memoised behind a `OnceLock`.
+        *self.capacity.get_or_init(|| {
+            crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        })
     }
 }
 
@@ -122,7 +135,11 @@ mod tests {
 
     #[test]
     fn aq1_is_k2() {
-        let g = AugmentedCube { n: 1, m: 1 };
+        let g = AugmentedCube {
+            n: 1,
+            m: 1,
+            capacity: OnceLock::new(),
+        };
         assert_eq!(g.neighbors(0), vec![1]);
     }
 
@@ -155,7 +172,11 @@ mod tests {
     fn parts_induce_augmented_cubes() {
         let g = AugmentedCube::with_partition_dim(5, 3);
         validate_partition(&g).unwrap();
-        let sub = AugmentedCube { n: 3, m: 1 };
+        let sub = AugmentedCube {
+            n: 3,
+            m: 1,
+            capacity: OnceLock::new(),
+        };
         for p in 0..g.part_count() {
             let base = p << 3;
             for x in 0..8usize {

@@ -14,6 +14,7 @@
 use crate::families::minimal_partition_dim;
 use crate::graph::{NodeId, Topology};
 use crate::partition::Partitionable;
+use std::sync::OnceLock;
 
 /// The augmented k-ary n-cube `AQ_{n,k}` with the spanning-`Q^k_n` prefix
 /// decomposition.
@@ -22,6 +23,8 @@ pub struct AugmentedKAryNCube {
     k: usize,
     n: usize,
     m: usize,
+    /// Memoised certified fault capacity (see `driver_fault_bound`).
+    capacity: OnceLock<usize>,
 }
 
 impl AugmentedKAryNCube {
@@ -32,13 +35,23 @@ impl AugmentedKAryNCube {
         assert!(n >= 2, "augmented k-ary n-cube needs n ≥ 2");
         let m = minimal_partition_dim(k, n, 4 * n - 2)
             .unwrap_or_else(|| panic!("AQ_({n},{k}): no partition dimension satisfies §5.2"));
-        AugmentedKAryNCube { k, n, m }
+        AugmentedKAryNCube {
+            k,
+            n,
+            m,
+            capacity: OnceLock::new(),
+        }
     }
 
     /// Build with an explicit partition dimension.
     pub fn with_partition_dim(n: usize, k: usize, m: usize) -> Self {
         assert!(k >= 3 && n >= 2 && m >= 1 && m < n);
-        AugmentedKAryNCube { k, n, m }
+        AugmentedKAryNCube {
+            k,
+            n,
+            m,
+            capacity: OnceLock::new(),
+        }
     }
 
     /// Radix `k`.
@@ -128,9 +141,11 @@ impl Partitionable for AugmentedKAryNCube {
         // Augmented tori have degree 4n − 2 ≈ their small parts' node
         // counts: a 16-node part of `AQ_(4,4)` certifies only 7 internal
         // nodes against δ = 14. Cap the bound at what every part can
-        // certify. O(Δ·N) per call for raw family structs — wrap in
-        // `Cached` to memoise on hot paths.
-        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        // certify. The O(Δ·N) capacity scan runs once per struct, memoised
+        // behind a `OnceLock`.
+        *self.capacity.get_or_init(|| {
+            crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        })
     }
 }
 

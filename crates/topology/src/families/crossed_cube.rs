@@ -21,12 +21,15 @@
 use crate::families::minimal_partition_dim;
 use crate::graph::{NodeId, Topology};
 use crate::partition::Partitionable;
+use std::sync::OnceLock;
 
 /// The crossed cube `CQ_n` with a prefix decomposition into `CQ_m` copies.
 #[derive(Clone, Debug)]
 pub struct CrossedCube {
     n: usize,
     m: usize,
+    /// Memoised certified fault capacity (see `driver_fault_bound`).
+    capacity: OnceLock<usize>,
 }
 
 /// The dimension-`l` neighbour of `u` in any crossed cube of dimension
@@ -52,13 +55,21 @@ impl CrossedCube {
         let m = minimal_partition_dim(2, n, n).unwrap_or_else(|| {
             panic!("CQ_{n}: no partition dimension satisfies Theorem 3 (need n ≥ 7)")
         });
-        CrossedCube { n, m }
+        CrossedCube {
+            n,
+            m,
+            capacity: OnceLock::new(),
+        }
     }
 
     /// Build `CQ_n` with an explicit subcube dimension.
     pub fn with_partition_dim(n: usize, m: usize) -> Self {
         assert!(m >= 1 && m < n);
-        CrossedCube { n, m }
+        CrossedCube {
+            n,
+            m,
+            capacity: OnceLock::new(),
+        }
     }
 
     /// Dimension `n`.
@@ -113,9 +124,11 @@ impl Partitionable for CrossedCube {
     fn driver_fault_bound(&self) -> usize {
         // `CQ_m` parts grow shallow probe trees (8 internal nodes for
         // `CQ_4` parts, not enough for δ = 8 at `CQ_8`); cap the bound at
-        // what every part can certify. O(Δ·N) per call for raw
-        // family structs — wrap in `Cached` to memoise on hot paths.
-        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        // what every part can certify. The O(Δ·N) capacity scan runs once
+        // per struct, memoised behind a `OnceLock`.
+        *self.capacity.get_or_init(|| {
+            crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        })
     }
 }
 
@@ -128,7 +141,11 @@ mod tests {
 
     #[test]
     fn cq1_is_k2() {
-        let g = CrossedCube { n: 1, m: 1 };
+        let g = CrossedCube {
+            n: 1,
+            m: 1,
+            capacity: OnceLock::new(),
+        };
         assert_eq!(g.neighbors(0), vec![1]);
         assert_eq!(g.neighbors(1), vec![0]);
     }
@@ -192,7 +209,11 @@ mod tests {
         let g = CrossedCube::with_partition_dim(5, 3);
         validate_partition(&g).unwrap();
         // Part p induces a graph isomorphic (by identity on low bits) to CQ_3.
-        let sub = CrossedCube { n: 3, m: 1 };
+        let sub = CrossedCube {
+            n: 3,
+            m: 1,
+            capacity: OnceLock::new(),
+        };
         for p in 0..g.part_count() {
             let base = p << 3;
             for x in 0..8usize {

@@ -13,6 +13,7 @@
 use crate::families::minimal_partition_dim;
 use crate::graph::{NodeId, Topology};
 use crate::partition::Partitionable;
+use std::sync::OnceLock;
 
 /// The enhanced hypercube `Q_{n,m}` with the spanning-`Q_n` prefix
 /// decomposition (`part_dim` = the subcube dimension of the decomposition,
@@ -22,6 +23,8 @@ pub struct EnhancedHypercube {
     n: usize,
     skip_m: usize,
     part_dim: usize,
+    /// Memoised certified fault capacity (see `driver_fault_bound`).
+    capacity: OnceLock<usize>,
 }
 
 impl EnhancedHypercube {
@@ -40,6 +43,7 @@ impl EnhancedHypercube {
             n,
             skip_m,
             part_dim,
+            capacity: OnceLock::new(),
         }
     }
 
@@ -51,6 +55,7 @@ impl EnhancedHypercube {
             n,
             skip_m,
             part_dim,
+            capacity: OnceLock::new(),
         }
     }
 
@@ -119,9 +124,11 @@ impl Partitionable for EnhancedHypercube {
     fn driver_fault_bound(&self) -> usize {
         // The subcube parts certify at most 10 internal nodes for
         // part_dim = 4, below δ = n + 1 from n = 9 up; cap the bound at
-        // what every part can certify. O(Δ·N) per call for raw
-        // family structs — wrap in `Cached` to memoise on hot paths.
-        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        // what every part can certify. The O(Δ·N) capacity scan runs once
+        // per struct, memoised behind a `OnceLock`.
+        *self.capacity.get_or_init(|| {
+            crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        })
     }
 }
 

@@ -13,12 +13,15 @@
 use crate::families::minimal_partition_dim;
 use crate::graph::{NodeId, Topology};
 use crate::partition::Partitionable;
+use std::sync::OnceLock;
 
 /// The folded hypercube `FQ_n` with the spanning-`Q_n` prefix decomposition.
 #[derive(Clone, Debug)]
 pub struct FoldedHypercube {
     n: usize,
     m: usize,
+    /// Memoised certified fault capacity (see `driver_fault_bound`).
+    capacity: OnceLock<usize>,
 }
 
 impl FoldedHypercube {
@@ -29,13 +32,21 @@ impl FoldedHypercube {
         let m = minimal_partition_dim(2, n, n + 1).unwrap_or_else(|| {
             panic!("FQ_{n}: no partition dimension satisfies Theorem 3 (need n ≥ 9)")
         });
-        FoldedHypercube { n, m }
+        FoldedHypercube {
+            n,
+            m,
+            capacity: OnceLock::new(),
+        }
     }
 
     /// Build `FQ_n` with an explicit subcube dimension.
     pub fn with_partition_dim(n: usize, m: usize) -> Self {
         assert!(m >= 1 && m < n);
-        FoldedHypercube { n, m }
+        FoldedHypercube {
+            n,
+            m,
+            capacity: OnceLock::new(),
+        }
     }
 
     /// Dimension `n`.
@@ -99,9 +110,11 @@ impl Partitionable for FoldedHypercube {
     fn driver_fault_bound(&self) -> usize {
         // The `Q_m` parts certify at most 10 internal nodes for m = 4,
         // which is below δ = n + 1 from `FQ_9` up; cap the bound at what
-        // every part can certify. O(Δ·N) per call for raw
-        // family structs — wrap in `Cached` to memoise on hot paths.
-        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        // every part can certify. The O(Δ·N) capacity scan runs once per
+        // struct, memoised behind a `OnceLock`.
+        *self.capacity.get_or_init(|| {
+            crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        })
     }
 }
 

@@ -23,6 +23,7 @@
 use crate::families::minimal_partition_dim;
 use crate::graph::{NodeId, Topology};
 use crate::partition::Partitionable;
+use std::sync::OnceLock;
 
 /// The twist applied by the level-`w` matching to a `w`-bit string: flip
 /// bit 0 iff the bits above it have odd parity (identity when `w < 2`).
@@ -42,6 +43,8 @@ fn twist(x: usize, width: usize) -> usize {
 pub struct TwistedCube {
     n: usize,
     m: usize,
+    /// Memoised certified fault capacity (see `driver_fault_bound`).
+    capacity: OnceLock<usize>,
 }
 
 impl TwistedCube {
@@ -51,13 +54,21 @@ impl TwistedCube {
         let m = minimal_partition_dim(2, n, n).unwrap_or_else(|| {
             panic!("TQ_{n}: no partition dimension satisfies Theorem 3 (need n ≥ 7)")
         });
-        TwistedCube { n, m }
+        TwistedCube {
+            n,
+            m,
+            capacity: OnceLock::new(),
+        }
     }
 
     /// Build `TQ_n` with an explicit subcube dimension.
     pub fn with_partition_dim(n: usize, m: usize) -> Self {
         assert!(m >= 1 && m < n);
-        TwistedCube { n, m }
+        TwistedCube {
+            n,
+            m,
+            capacity: OnceLock::new(),
+        }
     }
 
     /// Dimension `n`.
@@ -122,9 +133,11 @@ impl Partitionable for TwistedCube {
         // The twisted `TQ_m` parts are dense and shallow, so the honest
         // probe tree's internal-node count — not the part size — limits the
         // §4.1 certificate (`TQ_4` parts top out at 7 internal nodes, below
-        // δ = 7 for `TQ_7`). Cap at what every part can certify; O(Δ·N) per
-        // call for raw family structs — wrap in `Cached` to memoise on hot paths.
-        crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        // δ = 7 for `TQ_7`). Cap at what every part can certify; the O(Δ·N)
+        // capacity scan runs once per struct, memoised behind a `OnceLock`.
+        *self.capacity.get_or_init(|| {
+            crate::partition::certified_fault_capacity(self).min(self.diagnosability())
+        })
     }
 }
 
@@ -136,7 +149,11 @@ mod tests {
 
     #[test]
     fn tq1_is_k2() {
-        let g = TwistedCube { n: 1, m: 1 };
+        let g = TwistedCube {
+            n: 1,
+            m: 1,
+            capacity: OnceLock::new(),
+        };
         assert_eq!(g.neighbors(0), vec![1]);
     }
 
@@ -190,7 +207,11 @@ mod tests {
     fn prefix_parts_induce_twisted_cubes() {
         let g = TwistedCube::with_partition_dim(5, 3);
         validate_partition(&g).unwrap();
-        let sub = TwistedCube { n: 3, m: 1 };
+        let sub = TwistedCube {
+            n: 3,
+            m: 1,
+            capacity: OnceLock::new(),
+        };
         for p in 0..g.part_count() {
             let base = p << 3;
             for x in 0..8usize {
@@ -205,6 +226,17 @@ mod tests {
                 assert_eq!(expect, got, "part {p}, offset {x}");
             }
         }
+    }
+
+    #[test]
+    fn fault_bound_is_memoised() {
+        let g = TwistedCube::new(7);
+        assert!(g.capacity.get().is_none(), "computed lazily, not eagerly");
+        let b = g.driver_fault_bound();
+        assert_eq!(g.capacity.get(), Some(&b));
+        assert_eq!(g.driver_fault_bound(), b);
+        // A clone carries the memoised value along.
+        assert_eq!(g.clone().driver_fault_bound(), b);
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //!    cover its `driver_fault_bound`, and on a small probe instance of the
 //!    same family the claimed connectivity is recomputed exactly with the
 //!    Menger max-flow from `topology::algorithms`.
-//! 2. **Three-way agreement** — random fault sets of size
+//! 2. **Four-way agreement** — random fault sets of size
 //!    `≤ driver_fault_bound()` under every faulty-tester behaviour:
-//!    `diagnose`, `diagnose_parallel` and the naive baseline must all
-//!    return exactly the planted set.
+//!    `diagnose`, `diagnose_parallel`, the naive baseline and the
+//!    event-level distributed simulator (unit latencies, static timeline)
+//!    must all return exactly the planted set; the simulator's observed
+//!    (rounds, messages) must additionally reproduce the `distsim::plan`
+//!    cost model per part.
 
 use mmdiag::baselines::diagnose_baseline;
 use mmdiag::diagnosis::{diagnose, diagnose_parallel};
+use mmdiag::distsim::{plan, simulate, FaultTimeline, LatencyModel};
 use mmdiag::syndrome::{behavior_sweep, FaultSet, OracleSyndrome, TesterBehavior};
 use mmdiag::topology::algorithms::vertex_connectivity;
 use mmdiag::topology::families::{
@@ -24,6 +28,50 @@ use mmdiag::topology::families::{
 use mmdiag::topology::{Partitionable, Topology};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// The two regimes only the event simulator can express: latency skew
+/// (virtual time stretches, a static diagnosis never changes) and a fault
+/// whose onset lands after the probe phase (every probe certified, yet the
+/// growth-phase tests see the new fault and the diagnosis reports it).
+#[test]
+fn simulator_scenarios_latency_skew_and_mid_injection() {
+    let g = Hypercube::new(7);
+    let n = g.node_count();
+    let faults = FaultSet::new(n, &[5, 40, 99]);
+    let timeline = FaultTimeline::static_faults(faults.clone(), TesterBehavior::AllZero);
+    let unit = simulate(&g, &timeline, &LatencyModel::Unit).unwrap();
+    let skewed = simulate(
+        &g,
+        &timeline,
+        &LatencyModel::SeededRandom {
+            seed: 7,
+            min: 1,
+            max: 9,
+        },
+    )
+    .unwrap();
+    assert_eq!(skewed.faults, faults.members());
+    assert_eq!(skewed.faults, unit.faults);
+    assert!(
+        skewed.total_time > unit.total_time,
+        "skew must stretch time"
+    );
+
+    let victim = 77;
+    let injected = FaultTimeline::with_onsets(
+        faults.clone(),
+        &[(unit.growth.started + 1, victim)],
+        TesterBehavior::AllZero,
+    );
+    let report = simulate(&g, &injected, &LatencyModel::Unit).unwrap();
+    assert_eq!(report.faults, injected.final_faults().members());
+    assert!(report.faults.contains(&victim), "mid-protocol fault caught");
+    assert_eq!(
+        report.probes.iter().filter(|p| p.certified).count(),
+        unit.probes.iter().filter(|p| p.certified).count(),
+        "probes completed before the onset and certified identically"
+    );
+}
 
 struct FamilyCase {
     /// The instance the algorithms diagnose (canonical constructor).
@@ -120,12 +168,13 @@ fn kappa_at_least_delta_machine_verified() {
 }
 
 #[test]
-fn driver_parallel_and_baseline_agree_on_every_family() {
+fn driver_parallel_baseline_and_simulator_agree_on_every_family() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_2026);
     for case in cases() {
         let g = case.main.as_ref();
         g.check_partition_preconditions()
             .unwrap_or_else(|e| panic!("{e}"));
+        let model = plan(g);
         let n = g.node_count();
         let bound = g.driver_fault_bound();
         for trial in 0..2u64 {
@@ -166,6 +215,28 @@ fn driver_parallel_and_baseline_agree_on_every_family() {
                 let base = diagnose_baseline(g, &s)
                     .unwrap_or_else(|e| panic!("{}: baseline: {e} ({b:?})", g.name()));
                 assert_eq!(base.faults, drv.faults, "{} baseline {b:?}", g.name());
+
+                // Fourth implementation: the event-level simulator. Static
+                // timeline + unit latencies must be bit-identical to the
+                // driver and reproduce the cost model's trace exactly.
+                let timeline = FaultTimeline::static_faults(faults.clone(), b);
+                let sim = simulate(g, &timeline, &LatencyModel::Unit)
+                    .unwrap_or_else(|e| panic!("{}: simulator: {e} ({b:?})", g.name()));
+                assert_eq!(sim.faults, drv.faults, "{} simulator {b:?}", g.name());
+                assert_eq!(
+                    sim.certified_part,
+                    drv.certified_part,
+                    "{} simulator must certify the same part {b:?}",
+                    g.name()
+                );
+                assert_eq!(
+                    sim.probes_until_certificate,
+                    drv.probes,
+                    "{} simulator probe count {b:?}",
+                    g.name()
+                );
+                sim.check_against_plan(&model)
+                    .unwrap_or_else(|e| panic!("{}: sim vs cost model: {e} ({b:?})", g.name()));
 
                 // §6's economy claim, instance-level: the driver must beat
                 // the full table the baseline paid for.
