@@ -19,13 +19,14 @@ fn main() {
         let g = &inst.graph;
         let faults = scatter_faults(g.node_count(), g.driver_fault_bound(), 7);
         let rec = run_cell(&inst, &faults, TesterBehavior::AllZero);
+        let base = rec.baseline.as_ref().expect("smoke target runs baselines");
         println!(
             "{:<22} {:>6} {:>12.1} {:>12.1} {:>8.1}x",
             rec.instance,
             rec.nodes,
             rec.driver_nanos as f64 / 1e3,
-            rec.baseline_nanos as f64 / 1e3,
-            rec.baseline_lookups as f64 / rec.driver_lookups.max(1) as f64,
+            base.nanos as f64 / 1e3,
+            base.lookups as f64 / rec.driver_lookups.max(1) as f64,
         );
         assert!(rec.agree);
     }

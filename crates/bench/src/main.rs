@@ -1,93 +1,133 @@
 //! The `mmdiag-bench` harness binary.
 //!
-//! Sweeps the family catalog, cross-checks driver vs parallel driver vs
-//! baseline vs event-level simulator on every cell, runs the
-//! simulator-only scenario sweep (latency skew, mid-protocol injection),
-//! and writes the machine-readable trajectory file.
+//! Sweeps the family catalog, cross-checks driver vs pooled backends vs
+//! strided search vs baseline vs event-level simulator on every cell,
+//! re-submits each instance's syndromes as one batched submission per
+//! backend, runs the simulator-only scenario sweep (latency skew,
+//! mid-protocol injection) on the shared pool, and writes the
+//! machine-readable trajectory file.
 //!
 //! ```text
-//! mmdiag-bench [--quick] [--out PATH]
+//! mmdiag-bench [--quick] [--large] [--out PATH]
 //!   --quick   one (smallest) instance per family instead of the full
 //!             sweep; also skips the baseline on the largest instance per
-//!             family so the smoke run stays well under ~10 s
-//!   --out     output path (default BENCH_2.json in the working directory)
+//!             family so the smoke run stays well under ~10 s. With
+//!             --large, caps the scale axis at its single smallest
+//!             instance. MMDIAG_QUICK=1 in the environment means the same
+//!             thing (the one quick knob shared with the distsim property
+//!             suite).
+//!   --large   extend the catalog with the 10⁵⁺-node scale axis (Q_17,
+//!             S_8, large k-ary tori) — driver-only cells, baseline and
+//!             simulator legs recorded as JSON null
+//!   --out     output path (default BENCH_3.json in the working directory)
 //! ```
 
-use mmdiag_bench::{distsim_scenarios, full_catalog, small_catalog, sweep, to_json};
+use mmdiag_bench::{distsim_scenarios, full_catalog, large_catalog, small_catalog, sweep, to_json};
 
 /// The trajectory id this binary emits (`BENCH_<pr>`).
-const BENCH_ID: &str = "BENCH_2";
+const BENCH_ID: &str = "BENCH_3";
 
 fn main() {
-    let mut quick = false;
+    // `--quick` and MMDIAG_QUICK=1 are the same knob: the env var is what
+    // the distsim `sim_vs_model` property suite honours, so one setting
+    // shrinks every harness in the workspace.
+    let mut quick = std::env::var("MMDIAG_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut large = false;
     let mut out_path = format!("{BENCH_ID}.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--large" => large = true,
             "--out" => {
                 out_path = args
                     .next()
                     .unwrap_or_else(|| die("--out needs a path argument"));
             }
             "--help" | "-h" => {
-                eprintln!("usage: mmdiag-bench [--quick] [--out PATH]");
+                eprintln!("usage: mmdiag-bench [--quick] [--large] [--out PATH]");
                 return;
             }
             other => die(&format!("unknown argument: {other}")),
         }
     }
 
-    let catalog = if quick {
+    let mut catalog = if quick {
         small_catalog()
     } else {
         full_catalog()
     };
+    if large {
+        let mut axis = large_catalog();
+        if quick {
+            axis.truncate(1); // the CI smoke leg: one capped large instance
+        }
+        catalog.extend(axis);
+    }
     eprintln!(
-        "sweeping {} instances across 14 families (driver / parallel x4 / baseline / distsim)…",
-        catalog.len()
+        "sweeping {} instances across 14 families on a {}-worker pool \
+         (driver / pooled / auto / strided x4 / baseline / distsim)…",
+        catalog.len(),
+        mmdiag_exec::global().threads(),
     );
     eprintln!(
-        "{:<22} {:>6} {:>7} {:>12} {:>12} {:>9} {:>9} {:>6}",
-        "instance", "nodes", "faults", "driver µs", "baseline µs", "speedup", "lookup×", "sim"
+        "{:<22} {:>7} {:>7} {:>12} {:>12} {:>12} {:>9} {:>9} {:>6}",
+        "instance",
+        "nodes",
+        "faults",
+        "driver µs",
+        "auto µs",
+        "baseline µs",
+        "speedup",
+        "lookup×",
+        "sim"
     );
-    let records = sweep(&catalog, quick, &mut |rec| {
+    let (records, batches) = sweep(&catalog, quick, &mut |rec| {
         eprintln!(
-            "{:<22} {:>6} {:>7} {:>12.1} {:>12} {:>9} {:>9} {:>6}",
+            "{:<22} {:>7} {:>7} {:>12.1} {:>12.1} {:>12} {:>9} {:>9} {:>6}",
             rec.instance,
             rec.nodes,
             rec.num_faults,
             rec.driver_nanos as f64 / 1e3,
-            if rec.baseline_skipped {
-                "skip".to_string()
-            } else {
-                format!("{:.1}", rec.baseline_nanos as f64 / 1e3)
+            rec.auto.nanos as f64 / 1e3,
+            match &rec.baseline {
+                Some(b) => format!("{:.1}", b.nanos as f64 / 1e3),
+                None => "-".to_string(),
             },
-            if rec.baseline_skipped {
-                "-".to_string()
-            } else {
-                format!(
+            match &rec.baseline {
+                Some(b) => format!("{:.1}x", b.nanos as f64 / rec.driver_nanos.max(1) as f64),
+                None => "-".to_string(),
+            },
+            match &rec.baseline {
+                Some(b) => format!(
                     "{:.1}x",
-                    rec.baseline_nanos as f64 / rec.driver_nanos.max(1) as f64
-                )
+                    b.lookups as f64 / rec.driver_lookups.max(1) as f64
+                ),
+                None => "-".to_string(),
             },
-            if rec.baseline_skipped {
-                "-".to_string()
-            } else {
-                format!(
-                    "{:.1}x",
-                    rec.baseline_lookups as f64 / rec.driver_lookups.max(1) as f64
-                )
-            },
-            if rec.distsim.matches_model && rec.distsim.agree {
-                "ok"
-            } else {
-                "FAIL"
+            match &rec.distsim {
+                Some(d) if d.matches_model && d.agree => "ok",
+                Some(_) => "FAIL",
+                None => "-",
             },
         );
     });
 
-    eprintln!("running distsim scenario sweep (latency skew + mid-protocol injection)…");
+    eprintln!("batched submissions (diagnose_batch, sequential vs pooled, per instance)…");
+    for b in &batches {
+        eprintln!(
+            "{:<22} {:>2} cells  seq {:>10.1} µs  pooled {:>10.1} µs  {}",
+            b.instance,
+            b.cells,
+            b.seq_nanos as f64 / 1e3,
+            b.pooled_nanos as f64 / 1e3,
+            if b.agree { "ok" } else { "FAIL" }
+        );
+    }
+
+    eprintln!(
+        "running distsim scenario sweep on the pool (latency skew + mid-protocol injection)…"
+    );
     let scenarios = distsim_scenarios(&catalog);
     for s in &scenarios {
         eprintln!(
@@ -105,15 +145,23 @@ fn main() {
     let disagreements = records.iter().filter(|r| !r.agree).count()
         + records
             .iter()
-            .filter(|r| !r.distsim.matches_model || !r.distsim.agree)
+            .filter(|r| {
+                r.distsim
+                    .as_ref()
+                    .is_some_and(|d| !d.matches_model || !d.agree)
+            })
             .count()
+        + batches.iter().filter(|b| !b.agree).count()
         + scenarios.iter().filter(|s| !s.ok).count();
-    let json = to_json(BENCH_ID, &records, &scenarios);
+    let small_regressions = records.iter().filter(|r| !r.auto_no_regression).count();
+    let json = to_json(BENCH_ID, &records, &batches, &scenarios);
     std::fs::write(&out_path, &json)
         .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
     eprintln!(
-        "\n{} records + {} scenarios ({} families) -> {out_path}; disagreements: {disagreements}",
+        "\n{} records + {} batches + {} scenarios ({} families) -> {out_path}; \
+         disagreements: {disagreements}; small-instance regressions: {small_regressions}",
         records.len(),
+        batches.len(),
         scenarios.len(),
         mmdiag_bench::families_covered(&records),
     );

@@ -98,23 +98,40 @@ where
     T: Partitionable + ?Sized,
     S: SyndromeSource + ?Sized,
 {
-    let start_lookups = s.lookups();
     let mut ws = Workspace::new(g.node_count());
+    diagnose_seq_in_ws(g, s, fault_bound, &mut ws)
+}
+
+/// The sequential scan with a caller-provided [`Workspace`] — the reuse
+/// hook `diagnose_batch` needs so evaluating many syndromes against one
+/// instance allocates scratch space once, not once per syndrome.
+pub(crate) fn diagnose_seq_in_ws<T, S>(
+    g: &T,
+    s: &S,
+    fault_bound: usize,
+    ws: &mut Workspace,
+) -> Result<Diagnosis, DiagnosisError>
+where
+    T: Partitionable + ?Sized,
+    S: SyndromeSource + ?Sized,
+{
+    let start_lookups = s.lookups();
     let mut probes = 0usize;
     for part in 0..g.part_count() {
         let u0 = g.representative(part);
         probes += 1;
-        let probe = set_builder_in_part(g, s, u0, fault_bound, &mut ws);
+        let probe = set_builder_in_part(g, s, u0, fault_bound, ws);
         if probe.all_healthy {
-            return finish(g, s, u0, part, probes, fault_bound, start_lookups, &mut ws);
+            return finish(g, s, u0, part, probes, fault_bound, start_lookups, ws);
         }
     }
     Err(DiagnosisError::NoPartCertified)
 }
 
 /// After a certificate at `u0`: unrestricted growth + neighbourhood sweep.
+/// Shared by the sequential scan and every pooled backend strategy.
 #[allow(clippy::too_many_arguments)]
-fn finish<T, S>(
+pub(crate) fn finish<T, S>(
     g: &T,
     s: &S,
     u0: NodeId,

@@ -10,7 +10,12 @@
 //! * [`tree`] — the tree `T` described by the parent function `t`;
 //! * [`driver`] — the Theorem-1 driver: probe part representatives, certify
 //!   an all-healthy seed, grow `U_r`, output `N(U_r) = F`;
-//! * [`parallel`] — concurrently probed variant of the driver.
+//! * [`backend`] — pluggable execution: the same driver run sequentially,
+//!   on the shared worker pool ([`diagnose_with`]), size-directed
+//!   ([`diagnose_auto`]), or over batches of syndromes
+//!   ([`diagnose_batch`]);
+//! * [`parallel`] — the concurrently-probed strategy, a thin wrapper over
+//!   the pooled backend.
 //!
 //! ```
 //! use mmdiag_core::driver::diagnose;
@@ -26,11 +31,16 @@
 //! assert_eq!(diagnosis.faults, vec![3, 64, 90]);
 //! ```
 
+pub mod backend;
 pub mod driver;
 pub mod parallel;
 pub mod set_builder;
 pub mod tree;
 
+pub use backend::{
+    diagnose_auto, diagnose_batch, diagnose_with, ExecutionBackend, WorkspacePool,
+    SEQUENTIAL_CUTOVER_NODES,
+};
 pub use driver::{diagnose, diagnose_unchecked, Diagnosis, DiagnosisError};
 pub use parallel::diagnose_parallel;
 pub use set_builder::{

@@ -1,29 +1,29 @@
-//! Parallel probing (experiment PAR — an ablation on the driver's only
-//! embarrassingly parallel phase).
+//! Parallel probing (experiment PAR) — now a thin strategy over the
+//! shared execution backend.
 //!
-//! The sequential driver probes part representatives one by one. The
-//! probes are independent reads of the syndrome, so they can run
-//! concurrently: this module shards the parts over `threads` scoped worker
-//! threads, each with its own [`Workspace`], and takes the *lowest-indexed*
-//! certified part (so results are deterministic and identical to the
-//! sequential driver's choice). The final unrestricted growth and the
-//! neighbourhood sweep are inherently sequential and stay on the caller's
-//! thread.
+//! Historically this module spawned fresh scoped threads per call, which
+//! `BENCH_1`/`BENCH_2` showed losing to the sequential driver below ~1k
+//! nodes. The probe search itself — strided lanes over the parts, a shared
+//! fetch-min (CAS) publishing the best certified part, early cut-off once
+//! every part below a lane's cursor is decided — is unchanged, but it now
+//! lives in [`mmdiag_exec::Pool::min_index_where`] and runs on the
+//! process-wide worker pool via
+//! [`crate::backend::diagnose_pooled_width`]. The `threads` argument
+//! survives as the *lane width* of the search; the OS threads underneath
+//! are the pool's and are spawned exactly once per process.
 //!
-//! Consistent with the "Rust Atomics and Locks" guidance, coordination is a
-//! single shared `AtomicUsize` holding the best certified part so far
-//! (fetch-min via a CAS loop); workers stop early once every part below
-//! their current candidate is decided.
+//! Results are deterministic and identical to the sequential driver's
+//! choice (lowest certified part wins) for any width; see
+//! [`crate::backend`] for the full determinism contract.
 
+use crate::backend::diagnose_pooled_width;
 use crate::driver::{Diagnosis, DiagnosisError};
-use crate::set_builder::{set_builder, set_builder_in_part, Workspace};
 use mmdiag_syndrome::SyndromeSource;
 use mmdiag_topology::Partitionable;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Like [`crate::driver::diagnose`], but probing part representatives on
-/// `threads` worker threads. Requires the topology and syndrome to be
-/// shareable across threads.
+/// `threads` strided lanes of the shared global pool. Requires the
+/// topology and syndrome to be shareable across threads.
 pub fn diagnose_parallel<T, S>(g: &T, s: &S, threads: usize) -> Result<Diagnosis, DiagnosisError>
 where
     T: Partitionable + Sync + ?Sized,
@@ -31,91 +31,7 @@ where
 {
     g.check_partition_preconditions()
         .map_err(DiagnosisError::Preconditions)?;
-    let bound = g.driver_fault_bound();
-    let parts = g.part_count();
-    let threads = threads.clamp(1, parts);
-    let start_lookups = s.lookups();
-
-    let best = AtomicUsize::new(usize::MAX);
-    let probes = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let best = &best;
-            let probes = &probes;
-            scope.spawn(move || {
-                let mut ws = Workspace::new(g.node_count());
-                // Strided sharding: worker t probes parts t, t+threads, …
-                let mut part = t;
-                while part < parts {
-                    if best.load(Ordering::Acquire) < part {
-                        // A lower-indexed certificate exists; nothing this
-                        // worker finds from here on can win.
-                        break;
-                    }
-                    probes.fetch_add(1, Ordering::Relaxed);
-                    let probe = set_builder_in_part(g, s, g.representative(part), bound, &mut ws);
-                    if probe.all_healthy {
-                        // fetch-min CAS loop.
-                        let mut cur = best.load(Ordering::Acquire);
-                        while part < cur {
-                            match best.compare_exchange_weak(
-                                cur,
-                                part,
-                                Ordering::AcqRel,
-                                Ordering::Acquire,
-                            ) {
-                                Ok(_) => break,
-                                Err(actual) => cur = actual,
-                            }
-                        }
-                        break;
-                    }
-                    part += threads;
-                }
-            });
-        }
-    });
-
-    let part = best.load(Ordering::Acquire);
-    if part == usize::MAX {
-        return Err(DiagnosisError::NoPartCertified);
-    }
-    // Sequential tail: unrestricted growth from the winning seed + sweep.
-    let mut ws = Workspace::new(g.node_count());
-    let u0 = g.representative(part);
-    let full = set_builder(g, s, u0, bound, &mut ws);
-    let n = g.node_count();
-    let mut in_set = vec![false; n];
-    for &m in &full.members {
-        in_set[m] = true;
-    }
-    let mut fault_flag = vec![false; n];
-    let mut faults = Vec::new();
-    let mut buf = Vec::new();
-    for &m in &full.members {
-        g.neighbors_into(m, &mut buf);
-        for &v in &buf {
-            if !in_set[v] && !fault_flag[v] {
-                fault_flag[v] = true;
-                faults.push(v);
-            }
-        }
-    }
-    faults.sort_unstable();
-    if faults.len() > bound {
-        return Err(DiagnosisError::TooManyFaults {
-            found: faults.len(),
-            bound,
-        });
-    }
-    Ok(Diagnosis {
-        faults,
-        certified_part: part,
-        probes: probes.load(Ordering::Relaxed),
-        healthy_count: full.members.len(),
-        tree: full.tree,
-        lookups_used: s.lookups().saturating_sub(start_lookups),
-    })
+    diagnose_pooled_width(g, s, mmdiag_exec::global(), threads)
 }
 
 #[cfg(test)]
@@ -159,8 +75,12 @@ mod tests {
         let g = Hypercube::new(7); // 8 parts
         let f = FaultSet::new(128, &[]);
         let s = OracleSyndrome::new(f, TesterBehavior::AllZero);
-        // 64 threads requested, clamped to the number of parts.
+        // 64 lanes requested, clamped to the number of parts.
         let d = diagnose_parallel(&g, &s, 64).unwrap();
+        assert!(d.faults.is_empty());
+        // Zero lanes requested, clamped up to 1.
+        let s = OracleSyndrome::new(FaultSet::new(128, &[]), TesterBehavior::AllZero);
+        let d = diagnose_parallel(&g, &s, 0).unwrap();
         assert!(d.faults.is_empty());
     }
 }

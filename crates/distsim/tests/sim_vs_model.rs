@@ -9,7 +9,9 @@
 //! 3. Mid-protocol fault injection is visible to exactly the tests that
 //!    complete after the onset.
 //!
-//! Set `MMDIAG_QUICK=1` to run a reduced sweep (CI smoke mode).
+//! Set `MMDIAG_QUICK=1` to run a reduced sweep (CI smoke mode) — the same
+//! env var the `mmdiag-bench` harness honours as its `--quick` flag, so
+//! one knob shrinks every sweep in the workspace.
 
 use mmdiag_core::diagnose;
 use mmdiag_distsim::{plan, simulate, FaultTimeline, LatencyModel};
@@ -43,7 +45,9 @@ fn families() -> Vec<Box<dyn Partitionable>> {
 }
 
 fn quick() -> bool {
-    std::env::var("MMDIAG_QUICK").is_ok()
+    // Same parse as mmdiag-bench's --quick/MMDIAG_QUICK handling: set and
+    // neither empty nor "0" means quick.
+    std::env::var("MMDIAG_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// The tentpole property: simulator == cost model == centralised driver.

@@ -1,0 +1,235 @@
+//! # mmdiag-exec
+//!
+//! The workspace's shared execution layer: a hand-rolled, offline (no
+//! rayon, no crossbeam) **pooled work-stealing executor** with scoped
+//! parallel APIs.
+//!
+//! `BENCH_1.json`/`BENCH_2.json` showed the scoped-thread parallel driver
+//! losing to the sequential one below ~1k nodes: `std::thread::scope`
+//! spawns fresh OS threads on every call, and that spawn cost dominates
+//! sub-millisecond probe phases. This crate replaces per-call spawning
+//! with one process-wide (or caller-owned) [`Pool`] whose workers live for
+//! the lifetime of the pool:
+//!
+//! * [`Pool::scope`] — `std::thread::scope`-style scoped spawning with
+//!   panic propagation; tasks may borrow from the caller's stack;
+//! * [`Pool::map`] / [`Pool::for_each_index`] — order-preserving parallel
+//!   map and indexed parallel-for;
+//! * [`Pool::min_index_where`] — the deterministic lowest-index-wins
+//!   search reduction (shared fetch-min CAS, early cut-off) that the
+//!   diagnosis driver's certified-part probe needs;
+//! * [`Pool::worker_index`] — stable per-worker identity, used by
+//!   `mmdiag_core` to pool `Workspace`s per worker;
+//! * [`global`] — the lazily-created process-wide pool every crate shares.
+//!
+//! Scheduling: per-worker deques (own work LIFO, steals FIFO from the
+//! front), a shared injector for external submissions, condvar parking.
+//! Nested scopes are supported — a worker blocked on an inner scope runs
+//! queued tasks while it waits, so even a 1-thread pool cannot deadlock.
+
+#![warn(missing_docs)]
+
+mod ops;
+mod pool;
+mod scope;
+
+pub use pool::Pool;
+pub use scope::Scope;
+
+use std::sync::OnceLock;
+
+/// Worker count for the process-wide pool: `MMDIAG_POOL_THREADS` when set
+/// (clamped to 1..=64), else the machine's available parallelism capped at
+/// 8 — beyond that the probe phases of even the 10⁵⁺-node instances stop
+/// scaling and the deques only add steal traffic.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("MMDIAG_POOL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.clamp(1, 64);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// The process-wide shared pool, created on first use with
+/// [`default_threads`] workers. Every crate in the workspace dispatches on
+/// this pool unless handed an explicit one, so the whole process pays the
+/// thread-spawn cost exactly once.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn scope_runs_borrowing_tasks() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        let mut tail = 0usize; // mutably borrowed after the scope: proves the barrier
+        pool.scope(|s| {
+            for _ in 0..64 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        tail += counter.load(Ordering::Relaxed);
+        assert_eq!(tail, 64);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = Pool::new(3);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = pool.map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(pool.map(&[] as &[usize], |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn for_each_index_covers_range_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_index(0..500, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn min_index_where_is_deterministic_across_widths() {
+        let pool = Pool::new(4);
+        // Satisfied set {37, 41, 200}: answer must always be 37.
+        let sat = [37usize, 41, 200];
+        for width in [1, 2, 3, 8, 64] {
+            for _ in 0..10 {
+                let got = pool.min_index_where(300, width, |i| sat.contains(&i));
+                assert_eq!(got, Some(37), "width {width}");
+            }
+        }
+        assert_eq!(pool.min_index_where(300, 4, |_| false), None);
+        assert_eq!(pool.min_index_where(0, 4, |_| true), None);
+        assert_eq!(pool.min_index_where(1, 9, |i| i == 0), Some(0));
+    }
+
+    #[test]
+    fn min_index_never_skips_below_answer() {
+        // Every index at or below the answer must have been evaluated.
+        let pool = Pool::new(4);
+        let evaluated: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let got = pool.min_index_where(100, 8, |i| {
+            evaluated[i].fetch_add(1, Ordering::Relaxed);
+            i >= 50
+        });
+        assert_eq!(got, Some(50));
+        for (i, e) in evaluated.iter().enumerate().take(51) {
+            assert_eq!(e.load(Ordering::Relaxed), 1, "index {i} not probed");
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_to_scope_caller() {
+        let pool = Pool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| {});
+                s.spawn(|| panic!("boom in task"));
+                s.spawn(|| {});
+            });
+        }));
+        let payload = result.expect_err("scope must re-raise the task panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| payload.downcast_ref::<String>().unwrap().as_str());
+        assert!(msg.contains("boom in task"), "{msg}");
+        // The pool survives a panicked scope and keeps executing.
+        let v = pool.map(&[1, 2, 3], |_, &x| x + 1);
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock_single_worker() {
+        let pool = Pool::new(1);
+        let total = AtomicUsize::new(0);
+        let pool_ref = &pool;
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let total = &total;
+                let pool = pool_ref;
+                s.spawn(move || {
+                    // Inner scope runs on the (only) worker: it must help.
+                    pool.scope(|inner| {
+                        for _ in 0..8 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn worker_index_is_stable_and_in_range() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.worker_index(), None, "caller is not a worker");
+        let seen = Mutex::new(Vec::new());
+        pool.for_each_index(0..64, |_| {
+            let idx = pool.worker_index().expect("tasks run on workers");
+            assert!(idx < 3);
+            seen.lock().unwrap().push(idx);
+        });
+        assert_eq!(seen.lock().unwrap().len(), 64);
+        // Another pool's workers are not this pool's workers.
+        let other = Pool::new(2);
+        other.for_each_index(0..4, |_| {
+            assert_eq!(pool.worker_index(), None);
+            assert!(other.worker_index().is_some());
+        });
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = global() as *const Pool;
+        let b = global() as *const Pool;
+        assert_eq!(a, b);
+        assert!(global().threads() >= 1);
+        let out = global().map(&[10usize, 20], |_, &x| x / 10);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn many_small_scopes_reuse_workers() {
+        // The regression the pool exists to fix: thousands of tiny scopes
+        // must not spawn threads (smoke: just complete quickly and
+        // correctly).
+        let pool = Pool::new(4);
+        let mut acc = 0usize;
+        for round in 0..2000 {
+            let hit = AtomicUsize::new(0);
+            pool.scope(|s| {
+                let hit = &hit;
+                s.spawn(move || {
+                    hit.fetch_add(round, Ordering::Relaxed);
+                });
+            });
+            acc += hit.load(Ordering::Relaxed);
+        }
+        assert_eq!(acc, 2000 * 1999 / 2);
+    }
+}

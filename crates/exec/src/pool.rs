@@ -1,0 +1,223 @@
+//! The worker pool: threads spawned once, per-worker deques, stealing.
+//!
+//! Scheduling layout (the offline stand-in for rayon's core loop):
+//!
+//! * every worker owns a deque; tasks it spawns go to the *back* of its own
+//!   deque and are popped LIFO (cache-friendly for recursive fan-out);
+//! * tasks submitted from outside the pool land in a shared injector queue;
+//! * an idle worker first drains its own deque, then the injector, then
+//!   *steals* from the front (FIFO — the oldest, largest units of work) of
+//!   the other workers' deques, scanning round-robin from its own index;
+//! * with nothing to do anywhere it parks on a condvar; every push notifies.
+//!
+//! The deques are mutex-protected `VecDeque`s rather than lock-free
+//! Chase-Lev buffers: the workspace targets correctness and reuse (no
+//! per-call thread spawning) over peak steal throughput, and a mutex held
+//! for a push/pop is uncontended in the common path.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work, lifetime-erased by [`crate::scope::Scope::spawn`].
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Monotonic pool ids so a worker thread can tell *which* pool it belongs
+/// to (nested/multiple pools coexist in the test-suite).
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// `(pool id, worker index)` of the current thread, if it is a worker.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+pub(crate) struct Shared {
+    /// Tasks submitted from non-worker threads.
+    injector: Mutex<VecDeque<Task>>,
+    /// One deque per worker; workers push/pop their own back, thieves pop
+    /// the front.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Parking lot: workers wait here when every queue is empty.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    /// Number of workers currently parked (or committing to park) on
+    /// `wake` — lets [`Shared::notify`] skip the lock when nobody sleeps.
+    sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pop for worker `idx`: own deque (LIFO), injector, then steal (FIFO)
+    /// from the other deques starting after `idx`.
+    pub(crate) fn find_task(&self, idx: usize) -> Option<Task> {
+        if let Some(t) = self.deques[idx].lock().unwrap().pop_back() {
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().unwrap().pop_front() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (idx + off) % n;
+            if let Some(t) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        if !self.injector.lock().unwrap().is_empty() {
+            return true;
+        }
+        self.deques.iter().any(|d| !d.lock().unwrap().is_empty())
+    }
+
+    /// Wake parked workers after a push. The fast path is a single atomic
+    /// load: with no worker parked there is nothing to notify and the
+    /// sleep lock is never touched — task submission stays lock-free past
+    /// the queue push itself.
+    ///
+    /// No lost wakeup: a parking worker increments `sleepers` (SeqCst,
+    /// under the sleep lock) *before* re-checking the queues, and a pusher
+    /// publishes its task *before* this SeqCst load. Whichever side comes
+    /// later in the SeqCst order therefore sees the other — the worker
+    /// sees the task and skips parking, or the pusher sees the sleeper
+    /// and takes the lock to notify (the lock serialises the notify after
+    /// the worker's wait).
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep.lock().unwrap();
+            self.wake.notify_all();
+        }
+    }
+
+    /// Wake everything unconditionally — shutdown path.
+    fn notify_all_for_shutdown(&self) {
+        let _guard = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+}
+
+/// A reusable pool of worker threads with work-stealing deques.
+///
+/// Workers are spawned once at construction and live until the pool is
+/// dropped — the whole point versus `std::thread::scope` at every call
+/// site, whose per-call spawn cost dominates sub-millisecond parallel
+/// sections (`BENCH_1`/`BENCH_2`: the scoped parallel driver loses to the
+/// sequential one below ~1k nodes).
+pub struct Pool {
+    pub(crate) shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+    id: usize,
+}
+
+impl Pool {
+    /// Spawn a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mmdiag-exec-{id}-{idx}"))
+                    .spawn(move || worker_loop(shared, id, idx))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            threads,
+            id,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Worker index of the *current* thread within this pool, if it is one
+    /// of this pool's workers. Lets callers key per-worker state (e.g.
+    /// `mmdiag_core`'s workspace pool) without locks on the hot path.
+    pub fn worker_index(&self) -> Option<usize> {
+        WORKER.with(|w| match w.get() {
+            Some((pool, idx)) if pool == self.id => Some(idx),
+            _ => None,
+        })
+    }
+
+    /// Enqueue a lifetime-erased task: onto the current worker's own deque
+    /// when called from inside the pool, else onto the injector.
+    pub(crate) fn push_task(&self, task: Task) {
+        match self.worker_index() {
+            Some(idx) => self.shared.deques[idx].lock().unwrap().push_back(task),
+            None => self.shared.injector.lock().unwrap().push_back(task),
+        }
+        self.shared.notify();
+    }
+
+    /// Run queued tasks until `done` returns true — the help-first wait a
+    /// scope uses when it blocks on one of this pool's own workers
+    /// (nested scopes; foreign callers park on the scope condvar instead).
+    pub(crate) fn help_until(&self, worker: usize, done: &dyn Fn() -> bool) {
+        while !done() {
+            match self.shared.find_task(worker) {
+                Some(t) => t(),
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify_all_for_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, pool_id: usize, idx: usize) {
+    WORKER.with(|w| w.set(Some((pool_id, idx))));
+    loop {
+        if let Some(task) = shared.find_task(idx) {
+            task();
+            continue;
+        }
+        // Park: register as a sleeper *first*, then re-check the queues
+        // under the sleep lock — a push between our miss above and the
+        // wait below either lands in that re-check or sees our sleeper
+        // registration and notifies (see `Shared::notify`).
+        let guard = shared.sleep.lock().unwrap();
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        if shared.shutdown.load(Ordering::Acquire) {
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            break;
+        }
+        if shared.has_work() {
+            shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        let _guard = shared.wake.wait(guard).unwrap();
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+    }
+}

@@ -7,16 +7,21 @@
 //!    cover its `driver_fault_bound`, and on a small probe instance of the
 //!    same family the claimed connectivity is recomputed exactly with the
 //!    Menger max-flow from `topology::algorithms`.
-//! 2. **Four-way agreement** — random fault sets of size
+//! 2. **Six-way agreement** — random fault sets of size
 //!    `≤ driver_fault_bound()` under every faulty-tester behaviour:
-//!    `diagnose`, `diagnose_parallel`, the naive baseline and the
-//!    event-level distributed simulator (unit latencies, static timeline)
-//!    must all return exactly the planted set; the simulator's observed
-//!    (rounds, messages) must additionally reproduce the `distsim::plan`
-//!    cost model per part.
+//!    `diagnose`, `diagnose_parallel`, the pooled backend
+//!    (`diagnose_with` on the shared executor pool), the size-directed
+//!    `diagnose_auto`, the naive baseline and the event-level distributed
+//!    simulator (unit latencies, static timeline) must all return exactly
+//!    the planted set — with the pooled/auto legs additionally
+//!    bit-identical to the sequential driver (certified part, healthy
+//!    count, spanning tree); the simulator's observed (rounds, messages)
+//!    must reproduce the `distsim::plan` cost model per part.
 
 use mmdiag::baselines::diagnose_baseline;
-use mmdiag::diagnosis::{diagnose, diagnose_parallel};
+use mmdiag::diagnosis::{
+    diagnose, diagnose_auto, diagnose_parallel, diagnose_with, ExecutionBackend,
+};
 use mmdiag::distsim::{plan, simulate, FaultTimeline, LatencyModel};
 use mmdiag::syndrome::{behavior_sweep, FaultSet, OracleSyndrome, TesterBehavior};
 use mmdiag::topology::algorithms::vertex_connectivity;
@@ -168,7 +173,7 @@ fn kappa_at_least_delta_machine_verified() {
 }
 
 #[test]
-fn driver_parallel_baseline_and_simulator_agree_on_every_family() {
+fn driver_parallel_pooled_auto_baseline_and_simulator_agree_on_every_family() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_2026);
     for case in cases() {
         let g = case.main.as_ref();
@@ -211,6 +216,38 @@ fn driver_parallel_baseline_and_simulator_agree_on_every_family() {
                     "{} parallel must certify the same part {b:?}",
                     g.name()
                 );
+
+                // Executor backends: pooled (shared pool) and size-directed
+                // auto must be bit-identical to the sequential driver on
+                // every semantic field.
+                for (label, res) in [
+                    (
+                        "pooled",
+                        diagnose_with(g, &s, &ExecutionBackend::Pooled(mmdiag::exec::global())),
+                    ),
+                    ("auto", diagnose_auto(g, &s)),
+                ] {
+                    let d = res.unwrap_or_else(|e| panic!("{}: {label}: {e} ({b:?})", g.name()));
+                    assert_eq!(d.faults, drv.faults, "{} {label} {b:?}", g.name());
+                    assert_eq!(
+                        d.certified_part,
+                        drv.certified_part,
+                        "{} {label} part {b:?}",
+                        g.name()
+                    );
+                    assert_eq!(
+                        d.healthy_count,
+                        drv.healthy_count,
+                        "{} {label} healthy count {b:?}",
+                        g.name()
+                    );
+                    assert_eq!(
+                        d.tree.edges(),
+                        drv.tree.edges(),
+                        "{} {label} spanning tree {b:?}",
+                        g.name()
+                    );
+                }
 
                 let base = diagnose_baseline(g, &s)
                     .unwrap_or_else(|e| panic!("{}: baseline: {e} ({b:?})", g.name()));
