@@ -35,6 +35,10 @@
 
 #![warn(missing_docs)]
 
+pub mod sampled;
+
+pub use sampled::{sampled_check, SampledCheck};
+
 use mmdiag_syndrome::{SyndromeSource, SyndromeTable};
 use mmdiag_topology::{NodeId, Partitionable, Topology};
 

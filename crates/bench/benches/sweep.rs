@@ -8,7 +8,6 @@
 
 use mmdiag_bench::{run_cell, scatter_faults, small_catalog};
 use mmdiag_syndrome::TesterBehavior;
-use mmdiag_topology::{Partitionable, Topology};
 
 fn main() {
     println!(

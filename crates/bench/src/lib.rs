@@ -25,26 +25,43 @@
 //! cells are **driver-only** and carry `"baseline": null` /
 //! `"distsim": null` in the JSON.
 //!
+//! Since ISSUE 4 the scale story goes further on three axes:
+//!
+//! * **`--xlarge`** sweeps 10⁶–10⁷-node instances served by
+//!   [`mmdiag_implicit::ImplicitTopology`] — adjacency straight from the
+//!   generator math, no `Cached` CSR anywhere (a
+//!   [`mmdiag_implicit::MaterialisationGuard`] asserts exactly that per
+//!   cell) — with syndromes from the `O(|F|)`-state
+//!   [`mmdiag_syndrome::OnDemandOracle`];
+//! * every driver-only cell (both `--large` and `--xlarge`) regains an
+//!   independent verdict from the **sampled spot-checker**
+//!   ([`mmdiag_baselines::sampled_check`]), recorded as the JSON
+//!   `"sampled_check"` object where `"baseline"` is `null`;
+//! * at startup the binary **recalibrates `diagnose_auto`'s cutover** from
+//!   the best available `BENCH_*.json` trajectory ([`calibrate_cutover`])
+//!   instead of trusting the compiled-in 1024.
+//!
 //! Criterion is not available in the offline build environment; the
 //! `benches/sweep.rs` target (`harness = false`) and the `mmdiag-bench`
 //! binary both drive the sweep below with plain wall-clock timing.
 
 #![warn(missing_docs)]
 
-use mmdiag_baselines::diagnose_baseline;
+use mmdiag_baselines::{diagnose_baseline, sampled_check};
 use mmdiag_core::{
-    diagnose, diagnose_batch, diagnose_parallel, diagnose_with, Diagnosis, ExecutionBackend,
-    SEQUENTIAL_CUTOVER_NODES,
+    diagnose, diagnose_batch, diagnose_parallel, diagnose_with, sequential_cutover, Diagnosis,
+    ExecutionBackend,
 };
 use mmdiag_distsim::{plan, simulate, simulate_batch, FaultTimeline, LatencyModel, SimJob};
 use mmdiag_exec::Pool;
-use mmdiag_syndrome::{FaultSet, OracleSyndrome, SyndromeSource, TesterBehavior};
+use mmdiag_implicit::{ImplicitTopology, MaterialisationGuard};
+use mmdiag_syndrome::{FaultSet, OnDemandOracle, OracleSyndrome, SyndromeSource, TesterBehavior};
 use mmdiag_topology::families::{
     Arrangement, AugmentedCube, AugmentedKAryNCube, CrossedCube, EnhancedHypercube,
     FoldedHypercube, Hypercube, KAryNCube, NKStar, Pancake, ShuffleCube, StarGraph, TwistedCube,
     TwistedNCube,
 };
-use mmdiag_topology::{Cached, Partitionable, Topology};
+use mmdiag_topology::{Cached, NodeId, Partitionable, Topology};
 use std::time::Instant;
 
 /// Lane widths exercised by the strided-search leg of every run (the
@@ -65,32 +82,72 @@ pub const TIMING_REPS: usize = 3;
 /// noise, not a regression.
 pub const REGRESSION_TOLERANCE: f64 = 1.10;
 
-/// A named, materialised benchmark instance.
+/// A named benchmark instance. The topology is a trait object — every
+/// consumer is already generic over `Partitionable + ?Sized`, so CSR
+/// (`Cached`) and generator-math ([`ImplicitTopology`]) instances flow
+/// through the same code paths; `implicit` records which representation
+/// sits inside.
 pub struct Instance {
     /// Family key (stable across sizes, e.g. `"hypercube"`).
     pub family: &'static str,
-    /// The materialised topology (CSR adjacency + cached part labels).
-    pub graph: Cached,
+    /// The topology — materialised CSR or implicit generator math.
+    pub graph: Box<dyn Partitionable + Sync>,
+    /// Served CSR-free from the generator math (no `Cached` copy).
+    pub implicit: bool,
     /// Large-scale instance on which only the driver-family legs run: the
     /// full-table baseline and the event simulator are infeasible there
-    /// and their cells carry JSON `null`s.
+    /// and their cells carry JSON `null`s. Since ISSUE 4 these cells run
+    /// the sampled spot-checker instead.
     pub driver_only: bool,
+    /// 10⁶⁺-node `--xlarge` instance: slimmed measurement protocol (one
+    /// timed rep per leg, no strided sweep, no batch submission) and a
+    /// materialisation guard around every cell.
+    pub scale: bool,
 }
 
 impl Instance {
     fn new<T: Partitionable + ?Sized>(family: &'static str, g: &T) -> Self {
         Instance {
             family,
-            graph: Cached::new(g),
+            graph: Box::new(Cached::new(g)),
+            implicit: false,
             driver_only: false,
+            scale: false,
         }
     }
 
     fn driver_only<T: Partitionable + ?Sized>(family: &'static str, g: &T) -> Self {
         Instance {
             family,
-            graph: Cached::new(g),
+            graph: Box::new(Cached::new(g)),
+            implicit: false,
             driver_only: true,
+            scale: false,
+        }
+    }
+
+    /// A mid-size CSR-free instance that still runs every leg (baseline,
+    /// simulator included) — proving the whole harness is
+    /// representation-agnostic.
+    fn implicit<T: Partitionable + Sync + 'static>(family: &'static str, g: T) -> Self {
+        Instance {
+            family,
+            graph: Box::new(ImplicitTopology::new(g)),
+            implicit: true,
+            driver_only: false,
+            scale: false,
+        }
+    }
+
+    /// A 10⁶⁺-node `--xlarge` instance: implicit adjacency, driver +
+    /// sampled-checker legs only.
+    fn implicit_scale<T: Partitionable + Sync + 'static>(family: &'static str, g: T) -> Self {
+        Instance {
+            family,
+            graph: Box::new(ImplicitTopology::new(g)),
+            implicit: true,
+            driver_only: true,
+            scale: true,
         }
     }
 }
@@ -133,6 +190,14 @@ pub fn full_catalog() -> Vec<Instance> {
         Instance::new("nk_star", &NKStar::new(7, 3)),
         Instance::new("pancake", &Pancake::new(7)),
         Instance::new("arrangement", &Arrangement::new(7, 3)),
+        // Mid-size CSR-free cells: every leg runs — baseline and the event
+        // simulator included — over implicit generator-math adjacency, so
+        // representation-agnosticism is exercised where the full
+        // cross-check machinery still applies (Q_10 needs m = 5: 16-node
+        // subcubes cannot certify bound 10 — the capacity phenomenon the
+        // certified constructors exist for).
+        Instance::implicit("hypercube", Hypercube::new_certified(10)),
+        Instance::implicit("kary", KAryNCube::new_certified(4, 5)),
     ]);
     v
 }
@@ -140,20 +205,39 @@ pub fn full_catalog() -> Vec<Instance> {
 /// The 10⁵⁺-node scale axis behind `--large`, smallest first (the
 /// `--quick` smoke leg runs only the first entry). All driver-only: the
 /// baseline's full table and the event simulator's per-message replay are
-/// infeasible at these sizes.
+/// infeasible at these sizes — the sampled spot-checker supplies the
+/// independent verdict instead.
 ///
-/// `Q^3_11` needs an explicit partition dimension: the default rule
+/// `Q^3_11` historically hand-pinned `m = 4`: the default rule
 /// (`k^m > 2n`) picks 27-node parts whose probe trees top out at 15
 /// internal nodes — below the fault bound 22, so no part could ever
-/// certify (the certificate-capacity phenomenon already documented for
-/// the six capped families). `m = 4` gives 81-node parts with 48
-/// contributors and 2 187 parts, comfortably certifiable.
+/// certify. The capacity-aware [`KAryNCube::new_certified`] now derives
+/// the same `m = 4` (81-node parts, 48 contributors, 2 187 parts) from a
+/// single part-local probe, so the pin is gone.
 pub fn large_catalog() -> Vec<Instance> {
     vec![
         Instance::driver_only("star", &StarGraph::new(8)), // 40 320 nodes
         Instance::driver_only("hypercube", &Hypercube::new(17)), // 131 072 nodes
-        Instance::driver_only("kary", &KAryNCube::with_partition_dim(3, 11, 4)), // 177 147 nodes
+        Instance::driver_only("kary", &KAryNCube::new_certified(3, 11)), // 177 147 nodes
         Instance::driver_only("kary", &KAryNCube::new(4, 9)), // 262 144 nodes
+    ]
+}
+
+/// The 10⁶–10⁷-node `--xlarge` axis, smallest first (the `--quick` smoke
+/// leg runs only the first entry). Every instance is served implicitly —
+/// generator-math adjacency, no CSR — with the certified partition
+/// dimension, syndromes streamed from `O(|F|)` state, and the sampled
+/// spot-checker as the independent cross-check. A
+/// [`MaterialisationGuard`] around each cell asserts `Cached::new` never
+/// ran.
+pub fn xlarge_catalog() -> Vec<Instance> {
+    vec![
+        Instance::implicit_scale("hypercube", Hypercube::new_certified(20)), // 1 048 576 nodes
+        Instance::implicit_scale("kary", KAryNCube::new_certified(3, 13)),   // 1 594 323 nodes
+        Instance::implicit_scale("hypercube", Hypercube::new_certified(21)), // 2 097 152 nodes
+        Instance::implicit_scale("star", StarGraph::new(10)),                // 3 628 800 nodes
+        Instance::implicit_scale("kary", KAryNCube::new_certified(4, 11)),   // 4 194 304 nodes
+        Instance::implicit_scale("hypercube", Hypercube::new_certified(23)), // 8 388 608 nodes
     ]
 }
 
@@ -183,6 +267,24 @@ pub struct BaselineLeg {
     pub nanos: u128,
     /// Syndrome lookups (always the full table size).
     pub lookups: u64,
+}
+
+/// The sampled spot-checker leg of one driver-only cell — the independent
+/// verdict that replaces the infeasible full-table baseline at scale.
+#[derive(Clone, Debug)]
+pub struct SampledLeg {
+    /// Wall time of the check (ns).
+    pub nanos: u128,
+    /// Nodes sampled across all parts.
+    pub samples: usize,
+    /// Syndrome entries consulted by the label re-checks.
+    pub checked_tests: u64,
+    /// Sampled nodes whose neighbourhood contradicted the diagnosis.
+    pub disagreements: usize,
+    /// Did the re-derived probe tree at the certified part certify?
+    pub certificate_ok: bool,
+    /// No disagreements, certificate re-derived, bound respected.
+    pub agree: bool,
 }
 
 /// The event-level simulator's unit-latency leg of one cell.
@@ -246,6 +348,9 @@ pub struct RunRecord {
     pub parallel: Vec<ParallelLeg>,
     /// Baseline leg; `None` on driver-only cells and the quick-skip set.
     pub baseline: Option<BaselineLeg>,
+    /// Sampled spot-checker leg; `Some` exactly on driver-only cells,
+    /// where the full baseline is `None`.
+    pub sampled: Option<SampledLeg>,
     /// Event-simulator leg (unit latencies, static faults); `None` on
     /// driver-only cells.
     pub distsim: Option<DistsimLeg>,
@@ -341,7 +446,7 @@ pub fn run_cell_opts(
     behavior: TesterBehavior,
     with_baseline: bool,
 ) -> RunRecord {
-    let g = &inst.graph;
+    let g = inst.graph.as_ref();
     let pool = mmdiag_exec::global();
     let s = OracleSyndrome::new(faults.clone(), behavior);
 
@@ -355,7 +460,7 @@ pub fn run_cell_opts(
     // (min over reps), extra samples only tighten both estimates toward
     // the true floor, so a genuinely slower path still fails — only a
     // preemption-spiked measurement converges back to parity.
-    let sub_cutover = g.node_count() < SEQUENTIAL_CUTOVER_NODES;
+    let sub_cutover = g.node_count() < sequential_cutover();
     let (min_pairs, max_pairs) = if sub_cutover {
         (TIMING_REPS + 4, 40)
     } else {
@@ -394,7 +499,7 @@ pub fn run_cell_opts(
     });
     let backend_agree = semantically_equal(&auto, &drv) && semantically_equal(&pooled, &drv);
     assert!(backend_agree, "{}: backend legs disagree", g.name());
-    let auto_no_regression = g.node_count() >= SEQUENTIAL_CUTOVER_NODES
+    let auto_no_regression = g.node_count() >= sequential_cutover()
         || (auto_nanos as f64) <= (driver_nanos as f64) * REGRESSION_TOLERANCE;
 
     let mut parallel = Vec::with_capacity(THREAD_SWEEP.len());
@@ -457,7 +562,18 @@ pub fn run_cell_opts(
         None
     };
 
-    let agree = par_agree && backend_agree && distsim.as_ref().is_none_or(|d| d.agree);
+    // Driver-only cells: the sampled spot-checker supplies the independent
+    // verdict the infeasible baseline cannot.
+    let sampled = if inst.driver_only {
+        Some(run_sampled_leg(g, &s, &drv, 0x5A3D ^ faults.len() as u64))
+    } else {
+        None
+    };
+
+    let agree = par_agree
+        && backend_agree
+        && distsim.as_ref().is_none_or(|d| d.agree)
+        && sampled.as_ref().is_none_or(|c| c.agree);
     assert!(agree, "{}: legs disagree", g.name());
 
     // Lookup accounting for the driver comes from its own run, measured
@@ -489,8 +605,124 @@ pub fn run_cell_opts(
         auto_no_regression,
         parallel,
         baseline,
+        sampled,
         distsim,
         agree,
+    }
+}
+
+/// Samples per part for the spot-checker leg (`MMDIAG_SAMPLES`, default 2).
+fn samples_per_part() -> usize {
+    std::env::var("MMDIAG_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k > 0)
+        .unwrap_or(2)
+}
+
+/// Run the sampled spot-checker against a completed diagnosis and panic on
+/// any disagreement — at these sizes a disagreement means a genuine bug,
+/// not noise.
+fn run_sampled_leg<T, S>(g: &T, s: &S, drv: &Diagnosis, seed: u64) -> SampledLeg
+where
+    T: Partitionable + ?Sized,
+    S: SyndromeSource + ?Sized,
+{
+    let t0 = Instant::now();
+    let check = sampled_check(
+        g,
+        s,
+        &drv.faults,
+        drv.certified_part,
+        g.driver_fault_bound(),
+        samples_per_part(),
+        seed,
+    );
+    let leg = SampledLeg {
+        nanos: t0.elapsed().as_nanos(),
+        samples: check.samples.len(),
+        checked_tests: check.checked_tests,
+        disagreements: check.disagreements.len(),
+        certificate_ok: check.certificate_ok,
+        agree: check.agree,
+    };
+    assert!(
+        leg.agree,
+        "{}: sampled check disagrees with the driver at {:?}",
+        g.name(),
+        check.disagreements
+    );
+    leg
+}
+
+/// One `--xlarge` cell: the slimmed measurement protocol for 10⁶⁺-node
+/// implicit instances. One timed sequential-driver run, one timed run on
+/// the auto backend (pooled at these sizes unless the calibrated cutover
+/// says otherwise), the sampled spot-checker — and a
+/// [`MaterialisationGuard`] proving no `Cached::new` happened anywhere in
+/// the cell. Syndromes stream from the `O(|F|)`-state [`OnDemandOracle`].
+pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehavior) -> RunRecord {
+    assert!(inst.scale, "run_scale_cell is the --xlarge protocol");
+    let g = inst.graph.as_ref();
+    let guard = MaterialisationGuard::begin();
+    let s = OnDemandOracle::new(g.node_count(), members, behavior);
+
+    let t0 = Instant::now();
+    let drv = diagnose(g, &s).unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
+    let driver_nanos = t0.elapsed().as_nanos();
+    assert_eq!(
+        drv.faults,
+        s.planted_members(),
+        "{}: driver missed the planted set",
+        g.name()
+    );
+    let driver_lookups = drv.lookups_used;
+
+    let auto_backend = ExecutionBackend::auto(g.node_count());
+    s.reset_lookups();
+    let t0 = Instant::now();
+    let auto = mmdiag_core::diagnose_auto(g, &s)
+        .unwrap_or_else(|e| panic!("{}: auto backend failed: {e}", g.name()));
+    let auto_nanos = t0.elapsed().as_nanos();
+    assert!(
+        semantically_equal(&auto, &drv),
+        "{}: auto backend disagrees",
+        g.name()
+    );
+
+    let sampled = run_sampled_leg(g, &s, &drv, 0x51AE ^ members.len() as u64);
+    guard.assert_unchanged(&g.name());
+
+    RunRecord {
+        family: inst.family,
+        instance: g.name(),
+        nodes: g.node_count(),
+        max_degree: g.max_degree(),
+        parts: g.part_count(),
+        fault_bound: g.driver_fault_bound(),
+        num_faults: members.len(),
+        behavior: format!("{behavior:?}"),
+        table_entries: table_size(g),
+        driver_nanos,
+        driver_lookups,
+        driver_probes: drv.probes,
+        // The auto leg *is* the pooled-or-sequential production path at
+        // this size; a separate forced-pooled rep would double multi-second
+        // cell cost for no extra information on a calibrated cutover.
+        pooled: BackendLeg {
+            backend: auto_backend.label(),
+            nanos: auto_nanos,
+        },
+        auto: BackendLeg {
+            backend: auto_backend.label(),
+            nanos: auto_nanos,
+        },
+        auto_no_regression: true,
+        parallel: Vec::new(),
+        baseline: None,
+        sampled: Some(sampled),
+        distsim: None,
+        agree: true,
     }
 }
 
@@ -529,9 +761,29 @@ pub fn sweep(
     let mut records = Vec::new();
     let mut batches = Vec::new();
     for (i, inst) in catalog.iter().enumerate() {
-        let g = &inst.graph;
+        let g = inst.graph.as_ref();
         g.check_partition_preconditions()
             .unwrap_or_else(|e| panic!("catalog instance unusable: {e}"));
+        if inst.scale {
+            // --xlarge protocol: one seeded-random and one adversarial
+            // AllZero cell at the full fault bound, driver + auto + sampled
+            // checker only — no strided sweep, no batch submission (each
+            // extra leg is a multi-second full-graph pass out here).
+            let bound = g.driver_fault_bound();
+            let salt = 0xE1A6_0000 + i as u64;
+            // Both behaviours replay the same planted set (the scatter is
+            // an O(N) pass — worth doing once per instance out here).
+            let faults = scatter_faults(g.node_count(), bound, salt);
+            for behavior in [
+                TesterBehavior::Random { seed: salt },
+                TesterBehavior::AllZero,
+            ] {
+                let rec = run_scale_cell(inst, faults.members(), behavior);
+                progress(&rec);
+                records.push(rec);
+            }
+            continue;
+        }
         let is_family_largest = !inst.driver_only
             && family_max
                 .iter()
@@ -561,7 +813,7 @@ pub fn sweep(
 /// Evaluate one instance's sweep syndromes as a single `diagnose_batch`
 /// submission per backend and cross-check the two.
 fn batch_submission(inst: &Instance, syndromes: &[OracleSyndrome]) -> BatchRecord {
-    let g = &inst.graph;
+    let g = inst.graph.as_ref();
     let pool = mmdiag_exec::global();
     let t0 = Instant::now();
     let seq = diagnose_batch(g, syndromes, &ExecutionBackend::Sequential);
@@ -639,7 +891,7 @@ pub fn distsim_scenarios(catalog: &[Instance]) -> Vec<ScenarioRecord> {
 /// pool); the injection run depends on the reference's observed growth
 /// onset and follows once that is known.
 fn instance_scenarios(inst: &Instance, i: usize, pool: &Pool) -> Vec<ScenarioRecord> {
-    let g = &inst.graph;
+    let g = inst.graph.as_ref();
     let n = g.node_count();
     let bound = g.driver_fault_bound();
     let model = plan(g);
@@ -748,12 +1000,11 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Render records as the `BENCH_<pr>.json` trajectory document
-/// (`mmdiag-bench/v1` schema). Additions over `BENCH_2`: a top-level
-/// `exec` object (pool width, cutover), per-record `pooled`/`auto`
-/// backend legs with the `auto_no_regression` verdict, the
-/// `batch_submissions` array, and driver-only large cells whose
-/// `baseline`/`distsim` objects are JSON `null` (the `BENCH_2`-era
-/// `baseline.skipped` flag is folded into the same `null` convention).
+/// (`mmdiag-bench/v1` schema). Additions over `BENCH_3`: the `exec`
+/// object reports the *live* (possibly trajectory-calibrated) cutover,
+/// and every driver-only cell carries a `"sampled_check"` object — the
+/// spot-checker's independent verdict — where `"baseline"`/`"distsim"`
+/// remain JSON `null`.
 ///
 /// Hand-rolled serialisation — serde is not available offline, and the
 /// schema is flat enough that this stays readable.
@@ -771,7 +1022,7 @@ pub fn to_json(
         "  \"exec\": {{\"pool_threads\": {}, \"sequential_cutover_nodes\": {}, \
          \"timing_reps\": {}, \"regression_tolerance\": {:.2}}},\n",
         mmdiag_exec::global().threads(),
-        SEQUENTIAL_CUTOVER_NODES,
+        sequential_cutover(),
         TIMING_REPS,
         REGRESSION_TOLERANCE,
     ));
@@ -805,6 +1056,16 @@ pub fn to_json(
             ),
             None => ("null".to_string(), "null".to_string()),
         };
+        let sampled = match &r.sampled {
+            Some(c) => format!(
+                concat!(
+                    "{{\"nanos\": {}, \"samples\": {}, \"checked_tests\": {}, ",
+                    "\"disagreements\": {}, \"certificate_ok\": {}, \"agree\": {}}}"
+                ),
+                c.nanos, c.samples, c.checked_tests, c.disagreements, c.certificate_ok, c.agree,
+            ),
+            None => "null".to_string(),
+        };
         let distsim = match &r.distsim {
             Some(d) => format!(
                 concat!(
@@ -834,6 +1095,7 @@ pub fn to_json(
                 "\"speedup_vs_driver\": {:.3}, \"no_regression\": {}}}, ",
                 "\"parallel\": [{}], ",
                 "\"baseline\": {}, ",
+                "\"sampled_check\": {}, ",
                 "\"distsim\": {}, ",
                 "\"speedup_vs_baseline\": {}, \"lookup_ratio\": {}, ",
                 "\"driver_only\": {}, \"agree\": {}}}{}\n"
@@ -857,6 +1119,7 @@ pub fn to_json(
             r.auto_no_regression,
             par.join(", "),
             baseline,
+            sampled,
             distsim,
             speedup_vs_baseline,
             lookup_ratio,
@@ -910,6 +1173,125 @@ pub fn to_json(
     out
 }
 
+/// Outcome of a trajectory-based cutover calibration.
+#[derive(Clone, Debug)]
+pub struct CutoverCalibration {
+    /// The node count below which `diagnose_auto` should stay sequential.
+    pub cutover: usize,
+    /// Which trajectory file supplied the measurements.
+    pub source: String,
+    /// Distinct instance sizes the decision was based on.
+    pub groups: usize,
+}
+
+/// Extract the first integer following `key` in `hay` (`key` must end just
+/// before the digits, e.g. `"\"nodes\": "`).
+fn int_after(hay: &str, key: &str) -> Option<u128> {
+    let at = hay.find(key)? + key.len();
+    let digits: String = hay[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Cells a measured size must have before it can participate in cutover
+/// calibration. The `--xlarge` scale cells time each leg exactly once, so
+/// a single preemption spike there would otherwise veto the pooled
+/// backend for *every* smaller size (observed: a one-rep `Q_23` cell 13%
+/// over tolerance calibrated the cutover to 8.4M nodes). Sizes measured
+/// with the full multi-rep protocol contribute ≥ 4 cells each.
+const CALIBRATION_MIN_CELLS: usize = 3;
+
+/// Read the highest-numbered `BENCH_*.json` in `dir` and derive the
+/// smallest instance size from which the pooled backend keeps up with the
+/// sequential driver: the smallest measured node count `t` such that on
+/// *every* well-measured size `≥ t` the best pooled rep is within
+/// [`REGRESSION_TOLERANCE`] of the best driver rep. Sizes with fewer than
+/// [`CALIBRATION_MIN_CELLS`] cells (the single-rep `--xlarge` protocol)
+/// are informational only — one noisy rep must not flip the backend for
+/// everything below it. Returns `None` when no trajectory file (or no
+/// usable record) exists — callers fall back to the compiled-in default.
+///
+/// The parse is line-oriented over the `mmdiag-bench/v1` layout this crate
+/// itself emits (one record per line); anything unrecognised — a bad
+/// directory entry, a non-UTF-8 name, an unreadable or hand-edited file —
+/// is skipped, so corruption degrades to fewer groups, never a panic.
+pub fn calibrate_cutover_in(dir: &std::path::Path) -> Option<CutoverCalibration> {
+    let mut best: Option<(u64, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(num) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            if best.as_ref().is_none_or(|(b, _)| num > *b) {
+                best = Some((num, path));
+            }
+        }
+    }
+    let (_, path) = best?;
+    let text = std::fs::read_to_string(&path).ok()?;
+
+    // Per measured size: cell count and the floor estimate (min over
+    // cells) of driver and pooled wall time.
+    let mut groups: Vec<(usize, usize, u128, u128)> = Vec::new();
+    for line in text.lines() {
+        let (Some(nodes), Some(driver), Some(pooled)) = (
+            int_after(line, "\"nodes\": "),
+            int_after(line, "\"driver\": {\"nanos\": "),
+            int_after(line, "\"pooled\": {\"nanos\": "),
+        ) else {
+            continue;
+        };
+        let nodes = nodes as usize;
+        match groups.iter_mut().find(|(n, ..)| *n == nodes) {
+            Some(g) => {
+                g.1 += 1;
+                g.2 = g.2.min(driver);
+                g.3 = g.3.min(pooled);
+            }
+            None => groups.push((nodes, 1, driver, pooled)),
+        }
+    }
+    groups.retain(|&(_, cells, _, _)| cells >= CALIBRATION_MIN_CELLS);
+    if groups.is_empty() {
+        return None;
+    }
+    groups.sort_unstable_by_key(|&(n, ..)| n);
+
+    // Walk sizes descending: the calibrated cutover is just above the
+    // largest well-measured size where pooled still loses to the driver.
+    let mut cutover = groups[0].0.min(64); // pooled wins everywhere measured
+    for &(nodes, _, driver, pooled) in groups.iter().rev() {
+        if (pooled as f64) > (driver as f64) * REGRESSION_TOLERANCE {
+            cutover = nodes + 1;
+            break;
+        }
+    }
+    let cutover = cutover.clamp(64, 1 << 23);
+    Some(CutoverCalibration {
+        cutover,
+        source: path.display().to_string(),
+        groups: groups.len(),
+    })
+}
+
+/// Calibrate from the working directory's best trajectory and install the
+/// result as the live [`sequential_cutover`] (an `MMDIAG_CUTOVER` pin
+/// still wins — `set_sequential_cutover` defers to it). Returns what was
+/// installed, or `None` when offline (no trajectory): the compiled-in
+/// default stays in force.
+pub fn calibrate_cutover() -> Option<CutoverCalibration> {
+    let mut cal = calibrate_cutover_in(std::path::Path::new("."))?;
+    cal.cutover = mmdiag_core::set_sequential_cutover(cal.cutover);
+    Some(cal)
+}
+
 /// Number of distinct family keys present in `records`.
 pub fn families_covered(records: &[RunRecord]) -> usize {
     let mut fams: Vec<&str> = records.iter().map(|r| r.family).collect();
@@ -959,6 +1341,135 @@ mod tests {
                 .check_partition_preconditions()
                 .unwrap_or_else(|e| panic!("{e}"));
         }
+    }
+
+    #[test]
+    fn xlarge_catalog_reaches_1e6_nodes_without_materialising() {
+        let guard = MaterialisationGuard::begin();
+        let catalog = xlarge_catalog();
+        assert!(catalog.iter().all(|i| i.scale && i.driver_only));
+        let big = catalog
+            .iter()
+            .filter(|i| i.graph.node_count() >= 1_000_000)
+            .count();
+        assert!(
+            big >= 3,
+            "need at least three 10^6+-node instances, got {big}"
+        );
+        for inst in &catalog {
+            inst.graph
+                .check_partition_preconditions()
+                .unwrap_or_else(|e| panic!("{e}"));
+            assert!(inst.implicit);
+        }
+        // Constructing and validating the whole axis must not CSR anything.
+        guard.assert_unchanged("xlarge catalog construction");
+    }
+
+    #[test]
+    fn scale_cell_protocol_runs_and_stays_implicit() {
+        // The --xlarge protocol on a debug-friendly implicit instance:
+        // driver + auto + sampled checker, streaming syndrome, no
+        // materialisation, no parallel/batch legs.
+        let inst = Instance::implicit_scale("hypercube", Hypercube::new_certified(14));
+        let faults = scatter_faults(1 << 14, 5, 77);
+        let rec = run_scale_cell(&inst, faults.members(), TesterBehavior::Random { seed: 3 });
+        assert!(rec.agree);
+        assert!(rec.parallel.is_empty());
+        assert!(rec.baseline.is_none() && rec.distsim.is_none());
+        let sampled = rec.sampled.as_ref().expect("sampled leg present");
+        assert!(sampled.agree && sampled.certificate_ok);
+        assert_eq!(sampled.disagreements, 0);
+        assert!(sampled.samples > 0 && sampled.checked_tests > 0);
+        let json = to_json("BENCH_TEST", &[rec], &[], &[]);
+        assert!(json.contains("\"sampled_check\": {\"nanos\": "));
+        assert!(json.contains("\"driver_only\": true"));
+    }
+
+    #[test]
+    fn sweep_routes_scale_instances_through_the_slim_protocol() {
+        let catalog = vec![
+            Instance::new("hypercube", &Hypercube::new(7)),
+            Instance::implicit_scale("hypercube", Hypercube::new_certified(14)),
+        ];
+        let (records, batches) = sweep(&catalog, true, &mut |_| {});
+        // 5 regular cells + 2 scale cells; only the regular instance
+        // submits a batch.
+        assert_eq!(records.len(), 7);
+        assert_eq!(batches.len(), 1);
+        let scale: Vec<&RunRecord> = records.iter().filter(|r| r.nodes == 1 << 14).collect();
+        assert_eq!(scale.len(), 2);
+        assert!(scale
+            .iter()
+            .all(|r| r.sampled.as_ref().is_some_and(|c| c.agree)));
+        assert!(scale.iter().any(|r| r.behavior == "AllZero"));
+    }
+
+    #[test]
+    fn mid_size_implicit_cells_run_every_leg() {
+        let inst = Instance::implicit("hypercube", Hypercube::new_certified(10));
+        let faults = scatter_faults(1024, 4, 5);
+        let rec = run_cell(&inst, &faults, TesterBehavior::Random { seed: 8 });
+        assert!(rec.agree);
+        assert!(
+            rec.baseline.is_some(),
+            "implicit mid-size cells keep the baseline"
+        );
+        assert!(rec.distsim.is_some(), "and the event simulator");
+        assert!(
+            rec.sampled.is_none(),
+            "sampled checker is the driver-only fallback"
+        );
+    }
+
+    #[test]
+    fn cutover_calibration_reads_the_best_trajectory() {
+        let dir = std::env::temp_dir().join(format!("mmdiag-cal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // An older file that must be ignored in favour of the newer one.
+        std::fs::write(dir.join("BENCH_1.json"), "{}\n").unwrap();
+        // A record line for one cell of a measured size.
+        fn cell(nodes: usize, driver: u128, pooled: u128) -> String {
+            format!(
+                "    {{\"family\": \"h\", \"nodes\": {nodes}, \"driver\": {{\"nanos\": {driver}, \
+                 \"lookups\": 1}}, \"pooled\": {{\"nanos\": {pooled}}}}},\n"
+            )
+        }
+        // Three cells per size (the calibration quorum). Pooled loses at
+        // 128 and 512, wins from 2048 up: cutover = 513. The 1 000 000
+        // size has a single noisy cell where pooled loses badly — the
+        // quorum rule must keep it from vetoing everything below.
+        let mut body = String::from("{\"records\": [\n");
+        for (nodes, driver, pooled) in [
+            (128, 100, 500),
+            (512, 400, 600),
+            (2048, 2000, 1000),
+            (8192, 9000, 3000),
+        ] {
+            for rep in 0..3u128 {
+                body.push_str(&cell(nodes, driver + rep, pooled + rep));
+            }
+        }
+        body.push_str(&cell(1_000_000, 1_000_000, 9_000_000));
+        body.push_str("]}\n");
+        std::fs::write(dir.join("BENCH_9.json"), body).unwrap();
+        let cal = calibrate_cutover_in(&dir).expect("trajectory found");
+        assert!(cal.source.ends_with("BENCH_9.json"));
+        assert_eq!(cal.groups, 4, "the single-cell 1M size is excluded");
+        assert_eq!(cal.cutover, 513);
+        // Pooled winning everywhere clamps to the floor.
+        let everywhere: String = (0..3).map(|r| cell(128, 100 + r, 90 + r)).collect();
+        std::fs::write(dir.join("BENCH_10.json"), everywhere).unwrap();
+        let cal = calibrate_cutover_in(&dir).unwrap();
+        assert_eq!(cal.cutover, 64);
+        // Only under-measured sizes: calibration declines entirely.
+        std::fs::write(dir.join("BENCH_11.json"), cell(4096, 100, 900)).unwrap();
+        assert!(calibrate_cutover_in(&dir).is_none());
+        // No trajectory at all: same.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(calibrate_cutover_in(&empty).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -8,24 +8,37 @@
 //! machine-readable trajectory file.
 //!
 //! ```text
-//! mmdiag-bench [--quick] [--large] [--out PATH]
+//! mmdiag-bench [--quick] [--large] [--xlarge] [--out PATH]
 //!   --quick   one (smallest) instance per family instead of the full
 //!             sweep; also skips the baseline on the largest instance per
 //!             family so the smoke run stays well under ~10 s. With
-//!             --large, caps the scale axis at its single smallest
-//!             instance. MMDIAG_QUICK=1 in the environment means the same
-//!             thing (the one quick knob shared with the distsim property
-//!             suite).
+//!             --large/--xlarge, caps each scale axis at its single
+//!             smallest instance. MMDIAG_QUICK=1 in the environment means
+//!             the same thing (the one quick knob shared with the distsim
+//!             property suite).
 //!   --large   extend the catalog with the 10⁵⁺-node scale axis (Q_17,
-//!             S_8, large k-ary tori) — driver-only cells, baseline and
-//!             simulator legs recorded as JSON null
-//!   --out     output path (default BENCH_3.json in the working directory)
+//!             S_8, large k-ary tori) — driver-only cells; the sampled
+//!             spot-checker replaces the baseline/simulator legs (JSON
+//!             null)
+//!   --xlarge  extend the catalog with the 10⁶–10⁷-node implicit axis
+//!             (Q_20…Q_23, Q^3_13, Q^4_11, S_10) — CSR-free adjacency,
+//!             streaming syndromes, sampled cross-check; a
+//!             materialisation guard asserts no Cached copy is built
+//!   --out     output path (default BENCH_4.json in the working directory)
 //! ```
+//!
+//! At startup the binary recalibrates `diagnose_auto`'s sequential cutover
+//! from the best `BENCH_*.json` already in the working directory
+//! (`MMDIAG_CUTOVER=<nodes>` pins it instead; no trajectory means the
+//! compiled-in 1024 stays).
 
-use mmdiag_bench::{distsim_scenarios, full_catalog, large_catalog, small_catalog, sweep, to_json};
+use mmdiag_bench::{
+    calibrate_cutover, distsim_scenarios, full_catalog, large_catalog, small_catalog, sweep,
+    to_json, xlarge_catalog,
+};
 
 /// The trajectory id this binary emits (`BENCH_<pr>`).
-const BENCH_ID: &str = "BENCH_3";
+const BENCH_ID: &str = "BENCH_4";
 
 fn main() {
     // `--quick` and MMDIAG_QUICK=1 are the same knob: the env var is what
@@ -33,23 +46,36 @@ fn main() {
     // shrinks every harness in the workspace.
     let mut quick = std::env::var("MMDIAG_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
     let mut large = false;
+    let mut xlarge = false;
     let mut out_path = format!("{BENCH_ID}.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--large" => large = true,
+            "--xlarge" => xlarge = true,
             "--out" => {
                 out_path = args
                     .next()
                     .unwrap_or_else(|| die("--out needs a path argument"));
             }
             "--help" | "-h" => {
-                eprintln!("usage: mmdiag-bench [--quick] [--large] [--out PATH]");
+                eprintln!("usage: mmdiag-bench [--quick] [--large] [--xlarge] [--out PATH]");
                 return;
             }
             other => die(&format!("unknown argument: {other}")),
         }
+    }
+
+    match calibrate_cutover() {
+        Some(cal) => eprintln!(
+            "cutover calibrated from {}: sequential below {} nodes ({} measured sizes)",
+            cal.source, cal.cutover, cal.groups
+        ),
+        None => eprintln!(
+            "no BENCH_*.json trajectory here; sequential cutover stays at {}",
+            mmdiag_core::sequential_cutover()
+        ),
     }
 
     let mut catalog = if quick {
@@ -61,6 +87,13 @@ fn main() {
         let mut axis = large_catalog();
         if quick {
             axis.truncate(1); // the CI smoke leg: one capped large instance
+        }
+        catalog.extend(axis);
+    }
+    if xlarge {
+        let mut axis = xlarge_catalog();
+        if quick {
+            axis.truncate(1); // CI smoke: the smallest 10⁶-node cell (Q_20)
         }
         catalog.extend(axis);
     }
@@ -105,10 +138,12 @@ fn main() {
                 ),
                 None => "-".to_string(),
             },
-            match &rec.distsim {
-                Some(d) if d.matches_model && d.agree => "ok",
-                Some(_) => "FAIL",
-                None => "-",
+            match (&rec.distsim, &rec.sampled) {
+                (Some(d), _) if d.matches_model && d.agree => "ok",
+                (Some(_), _) => "FAIL",
+                (None, Some(c)) if c.agree => "spot",
+                (None, Some(_)) => "FAIL",
+                (None, None) => "-",
             },
         );
     });
@@ -150,6 +185,10 @@ fn main() {
                     .as_ref()
                     .is_some_and(|d| !d.matches_model || !d.agree)
             })
+            .count()
+        + records
+            .iter()
+            .filter(|r| r.sampled.as_ref().is_some_and(|c| !c.agree))
             .count()
         + batches.iter().filter(|b| !b.agree).count()
         + scenarios.iter().filter(|s| !s.ok).count();

@@ -33,14 +33,63 @@ use mmdiag_topology::Partitionable;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Node count below which [`diagnose_auto`] stays sequential.
+/// Default node count below which [`diagnose_auto`] stays sequential.
 ///
 /// Calibrated from `BENCH_1.json`/`BENCH_2.json`: on every sub-1k cell the
 /// scoped-thread parallel legs ran at or behind the sequential driver (a
 /// probe phase there is tens of microseconds — under any dispatch
 /// overhead), while from ~1k nodes the parallel probe search starts paying
 /// for itself.
+///
+/// This is the *offline fallback*: the live cutover is
+/// [`sequential_cutover`], which an operator can pin with
+/// `MMDIAG_CUTOVER=<nodes>` and the bench harness recalibrates at startup
+/// from the best available `BENCH_*.json` trajectory
+/// (`mmdiag_bench::calibrate_cutover`).
 pub const SEQUENTIAL_CUTOVER_NODES: usize = 1024;
+
+/// The live cutover value; 0 means "not yet resolved".
+static CUTOVER: AtomicUsize = AtomicUsize::new(0);
+
+/// The node count below which [`diagnose_auto`] currently stays
+/// sequential. Resolution order: an explicit [`set_sequential_cutover`]
+/// call (the bench's trajectory calibration), else `MMDIAG_CUTOVER` from
+/// the environment, else [`SEQUENTIAL_CUTOVER_NODES`]. The env var is read
+/// once, on first call.
+pub fn sequential_cutover() -> usize {
+    match CUTOVER.load(Ordering::Relaxed) {
+        0 => {
+            let resolved = std::env::var("MMDIAG_CUTOVER")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(SEQUENTIAL_CUTOVER_NODES);
+            // First resolver wins; a concurrent set_sequential_cutover that
+            // landed in between is preserved.
+            let _ = CUTOVER.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+            CUTOVER.load(Ordering::Relaxed)
+        }
+        n => n,
+    }
+}
+
+/// Override the live cutover (e.g. from a measured `BENCH_*.json`
+/// trajectory). A `MMDIAG_CUTOVER` environment pin takes precedence: when
+/// the operator set one, this call is ignored and the pinned value is
+/// returned. Returns the cutover now in force.
+pub fn set_sequential_cutover(nodes: usize) -> usize {
+    assert!(nodes > 0, "cutover must be positive");
+    if std::env::var("MMDIAG_CUTOVER")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .is_some()
+    {
+        return sequential_cutover();
+    }
+    CUTOVER.store(nodes, Ordering::Relaxed);
+    nodes
+}
 
 /// How a diagnosis should execute.
 #[derive(Clone, Copy)]
@@ -53,10 +102,17 @@ pub enum ExecutionBackend<'p> {
 
 impl<'p> ExecutionBackend<'p> {
     /// The backend [`diagnose_auto`] picks for an instance of `nodes`
-    /// nodes: sequential below [`SEQUENTIAL_CUTOVER_NODES`], else the
+    /// nodes: sequential below the live [`sequential_cutover`], else the
     /// process-wide [`mmdiag_exec::global`] pool.
     pub fn auto(nodes: usize) -> ExecutionBackend<'static> {
-        if nodes < SEQUENTIAL_CUTOVER_NODES {
+        Self::auto_with_cutover(nodes, sequential_cutover())
+    }
+
+    /// [`ExecutionBackend::auto`] with an explicit cutover — the pure
+    /// decision rule, also used by tests that must not touch the process
+    /// global.
+    pub fn auto_with_cutover(nodes: usize, cutover: usize) -> ExecutionBackend<'static> {
+        if nodes < cutover {
             ExecutionBackend::Sequential
         } else {
             ExecutionBackend::Pooled(mmdiag_exec::global())
@@ -129,8 +185,10 @@ where
     }
 }
 
-/// Size-directed entry point: sequential below
-/// [`SEQUENTIAL_CUTOVER_NODES`], pooled on the shared global pool above it.
+/// Size-directed entry point: sequential below the live
+/// [`sequential_cutover`] (default [`SEQUENTIAL_CUTOVER_NODES`], overridable
+/// via `MMDIAG_CUTOVER` or trajectory calibration), pooled on the shared
+/// global pool above it.
 pub fn diagnose_auto<T, S>(g: &T, s: &S) -> Result<Diagnosis, DiagnosisError>
 where
     T: Partitionable + Sync + ?Sized,
@@ -268,14 +326,42 @@ mod tests {
     #[test]
     fn auto_picks_backend_by_size() {
         assert_eq!(ExecutionBackend::auto(128).label(), "sequential");
+        // The pure rule, pinned to the default cutover (the global variant
+        // is exercised separately so tests cannot race on the process
+        // state).
         assert_eq!(
-            ExecutionBackend::auto(SEQUENTIAL_CUTOVER_NODES - 1).label(),
+            ExecutionBackend::auto_with_cutover(
+                SEQUENTIAL_CUTOVER_NODES - 1,
+                SEQUENTIAL_CUTOVER_NODES
+            )
+            .label(),
             "sequential"
         );
         assert_eq!(
-            ExecutionBackend::auto(SEQUENTIAL_CUTOVER_NODES).label(),
+            ExecutionBackend::auto_with_cutover(SEQUENTIAL_CUTOVER_NODES, SEQUENTIAL_CUTOVER_NODES)
+                .label(),
             "pooled"
         );
+        assert_eq!(
+            ExecutionBackend::auto_with_cutover(600, 512).label(),
+            "pooled"
+        );
+        assert_eq!(
+            ExecutionBackend::auto_with_cutover(600, 2048).label(),
+            "sequential"
+        );
+    }
+
+    #[test]
+    fn cutover_defaults_and_recalibrates() {
+        // No MMDIAG_CUTOVER in the test environment: the default resolves.
+        assert_eq!(sequential_cutover(), SEQUENTIAL_CUTOVER_NODES);
+        // Trajectory calibration moves the live value; restore afterwards
+        // so other tests in this binary see the default again.
+        assert_eq!(set_sequential_cutover(2048), 2048);
+        assert_eq!(sequential_cutover(), 2048);
+        set_sequential_cutover(SEQUENTIAL_CUTOVER_NODES);
+        assert_eq!(sequential_cutover(), SEQUENTIAL_CUTOVER_NODES);
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub mod set_builder;
 pub mod tree;
 
 pub use backend::{
-    diagnose_auto, diagnose_batch, diagnose_with, ExecutionBackend, WorkspacePool,
-    SEQUENTIAL_CUTOVER_NODES,
+    diagnose_auto, diagnose_batch, diagnose_with, sequential_cutover, set_sequential_cutover,
+    ExecutionBackend, WorkspacePool, SEQUENTIAL_CUTOVER_NODES,
 };
 pub use driver::{diagnose, diagnose_unchecked, Diagnosis, DiagnosisError};
 pub use parallel::diagnose_parallel;

@@ -1,0 +1,122 @@
+//! Property suite: [`ImplicitTopology`] must be observationally identical
+//! to [`Cached`] on every one of the fourteen §5 families at the workspace
+//! cross-check sizes — neighbour lists (order included: both are sorted),
+//! degrees, part assignments, representatives, part sizes, fault bounds,
+//! and honest probe trees (dense `O(N)` computation on the Cached copy vs
+//! part-local `O(|part|)` computation on the implicit view).
+//!
+//! Diagnosis-level bit-identity is asserted separately by the workspace
+//! `tests/cross_check.rs`; this suite pins down the structural invariants
+//! that identity rests on, so a drift in any one family points straight at
+//! the violated property instead of a diverged fault set.
+
+use mmdiag_implicit::ImplicitTopology;
+use mmdiag_topology::families::{
+    Arrangement, AugmentedCube, AugmentedKAryNCube, CrossedCube, EnhancedHypercube,
+    FoldedHypercube, Hypercube, KAryNCube, NKStar, Pancake, ShuffleCube, StarGraph, TwistedCube,
+    TwistedNCube,
+};
+use mmdiag_topology::partition::{
+    honest_probe_contributors, honest_probe_contributors_local, validate_partition,
+};
+use mmdiag_topology::{Cached, Partitionable, Topology};
+
+/// One (implicit view, materialised view) pair per family, at the sizes
+/// `tests/cross_check.rs` uses.
+fn pairs() -> Vec<(Box<dyn Partitionable + Sync>, Cached)> {
+    fn pair<T: Partitionable + Clone + Sync + 'static>(
+        fam: T,
+    ) -> (Box<dyn Partitionable + Sync>, Cached) {
+        let cached = Cached::new(&fam);
+        (Box::new(ImplicitTopology::new(fam)), cached)
+    }
+    vec![
+        pair(Hypercube::new(7)),
+        pair(CrossedCube::new(7)),
+        pair(TwistedCube::new(7)),
+        pair(TwistedNCube::new(7)),
+        pair(FoldedHypercube::new(8)),
+        pair(EnhancedHypercube::new(8, 3)),
+        pair(AugmentedCube::new(10)),
+        pair(ShuffleCube::new(10)),
+        pair(KAryNCube::new(3, 6)),
+        pair(AugmentedKAryNCube::new(4, 4)),
+        pair(StarGraph::new(6)),
+        pair(NKStar::new(6, 3)),
+        pair(Pancake::new(6)),
+        pair(Arrangement::new(6, 3)),
+    ]
+}
+
+#[test]
+fn covers_all_fourteen_families() {
+    let mut names: Vec<String> = pairs().iter().map(|(g, _)| g.name()).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), 14, "got {names:?}");
+}
+
+#[test]
+fn neighbor_lists_identical_to_cached() {
+    for (implicit, cached) in pairs() {
+        let g = implicit.as_ref();
+        assert_eq!(g.node_count(), cached.node_count(), "{}", g.name());
+        assert_eq!(g.edge_count(), cached.edge_count(), "{}", g.name());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for u in 0..g.node_count() {
+            g.neighbors_into(u, &mut a);
+            cached.neighbors_into(u, &mut b);
+            // Exact order, not just set equality: bit-identical diagnoses
+            // depend on identical scan order.
+            assert_eq!(a, b, "{} node {u}", g.name());
+            assert_eq!(g.degree(u), cached.degree(u), "{} node {u}", g.name());
+        }
+        assert_eq!(g.max_degree(), cached.max_degree(), "{}", g.name());
+        assert_eq!(g.min_degree(), cached.min_degree(), "{}", g.name());
+    }
+}
+
+#[test]
+fn partition_structure_identical_to_cached() {
+    for (implicit, cached) in pairs() {
+        let g = implicit.as_ref();
+        assert_eq!(g.part_count(), cached.part_count(), "{}", g.name());
+        assert_eq!(
+            g.driver_fault_bound(),
+            cached.driver_fault_bound(),
+            "{}",
+            g.name()
+        );
+        for p in 0..g.part_count() {
+            assert_eq!(
+                g.representative(p),
+                cached.representative(p),
+                "{} part {p}",
+                g.name()
+            );
+            assert_eq!(g.part_size(p), cached.part_size(p), "{} part {p}", g.name());
+        }
+        for u in 0..g.node_count() {
+            assert_eq!(g.part_of(u), cached.part_of(u), "{} node {u}", g.name());
+        }
+        validate_partition(g).unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+    }
+}
+
+#[test]
+fn probe_trees_identical_across_all_three_computations() {
+    // Dense O(N) arrays on the Cached copy, dense on the implicit view,
+    // and the part-local O(|part|) variant on the implicit view must all
+    // report the same internal-node count for every part.
+    for (implicit, cached) in pairs() {
+        let g = implicit.as_ref();
+        for p in 0..g.part_count() {
+            let dense_cached = honest_probe_contributors(&cached, p);
+            let dense_implicit = honest_probe_contributors(&g, p);
+            let local_implicit = honest_probe_contributors_local(&g, p);
+            assert_eq!(dense_cached, dense_implicit, "{} part {p}", g.name());
+            assert_eq!(dense_cached, local_implicit, "{} part {p}", g.name());
+        }
+    }
+}

@@ -11,16 +11,21 @@
 //! * [`table::SyndromeTable`] — the fully materialised syndrome (what
 //!   Chiang–Tan-style algorithms consume);
 //! * [`oracle::OracleSyndrome`] — the lazy per-test oracle (what
-//!   `Set_Builder` drives, §6's minimise-the-tests setting).
+//!   `Set_Builder` drives, §6's minimise-the-tests setting);
+//! * [`streaming::OnDemandOracle`] — the same oracle semantics from
+//!   `O(|F|)` state (sorted members, no bitmap) for the 10⁶–10⁷-node
+//!   implicit scale path.
 
 pub mod fault;
 pub mod model;
 pub mod oracle;
 pub mod source;
+pub mod streaming;
 pub mod table;
 
 pub use fault::FaultSet;
-pub use model::{behavior_sweep, ground_truth, TestResult, TesterBehavior};
+pub use model::{behavior_sweep, ground_truth, outcome_from_flags, TestResult, TesterBehavior};
 pub use oracle::OracleSyndrome;
 pub use source::{Counting, SyndromeSource};
+pub use streaming::OnDemandOracle;
 pub use table::SyndromeTable;

@@ -85,13 +85,39 @@ pub fn ground_truth(
     w: NodeId,
     behavior: TesterBehavior,
 ) -> TestResult {
+    outcome_from_flags(
+        faults.contains(u),
+        faults.contains(v),
+        faults.contains(w),
+        u,
+        v,
+        w,
+        behavior,
+    )
+}
+
+/// [`ground_truth`] with the three fault-membership bits already resolved —
+/// the shared kernel behind every syndrome generator. Factoring the MM
+/// semantics out of [`crate::fault::FaultSet`] is what lets the streaming
+/// [`crate::streaming::OnDemandOracle`] answer from `O(|F|)` state (a
+/// sorted member list) while staying bit-identical to the bitmap-backed
+/// oracle: both funnel through this one function.
+pub fn outcome_from_flags(
+    u_faulty: bool,
+    v_faulty: bool,
+    w_faulty: bool,
+    u: NodeId,
+    v: NodeId,
+    w: NodeId,
+    behavior: TesterBehavior,
+) -> TestResult {
     debug_assert_ne!(v, w, "MM tests compare two distinct neighbours");
-    let honest = if faults.contains(v) || faults.contains(w) {
+    let honest = if v_faulty || w_faulty {
         TestResult::Disagree
     } else {
         TestResult::Agree
     };
-    if !faults.contains(u) {
+    if !u_faulty {
         return honest;
     }
     match behavior {

@@ -1,0 +1,189 @@
+//! The streaming syndrome oracle — `O(|F|)` state for 10⁶–10⁷-node runs.
+//!
+//! [`crate::oracle::OracleSyndrome`] already synthesises outcomes lazily,
+//! but it owns a [`crate::fault::FaultSet`] whose bitmap is `O(N)`: one
+//! byte per node of the network, allocated before the first lookup. That is
+//! harmless at bench sizes and wrong at scale — a 10⁷-node instance should
+//! not pay 10 MB of syndrome state to describe twenty faults.
+//!
+//! [`OnDemandOracle`] keeps only the sorted fault members and the behaviour
+//! seed; membership is a binary search over `|F|` entries and every outcome
+//! funnels through the same [`crate::model::outcome_from_flags`] kernel as
+//! the bitmap oracle, so the two are bit-identical on every defined entry
+//! (the test-suite sweeps this). The driver's workspaces, `diagnose_batch`
+//! and the execution backends consume it unchanged through
+//! [`SyndromeSource`].
+
+use crate::fault::FaultSet;
+use crate::model::{outcome_from_flags, TestResult, TesterBehavior};
+use crate::source::SyndromeSource;
+use mmdiag_topology::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lazy, counting syndrome source holding `O(|F|)` state: the sorted
+/// fault members plus the faulty-tester behaviour.
+pub struct OnDemandOracle {
+    members: Vec<NodeId>,
+    universe: usize,
+    behavior: TesterBehavior,
+    lookups: AtomicU64,
+}
+
+impl OnDemandOracle {
+    /// Create an oracle over a network of `universe` nodes with the given
+    /// faulty members (deduplicated and sorted here) and tester behaviour.
+    pub fn new(universe: usize, members: &[NodeId], behavior: TesterBehavior) -> Self {
+        let mut members: Vec<NodeId> = members.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        if let Some(&last) = members.last() {
+            assert!(
+                last < universe,
+                "faulty node {last} out of range (n = {universe})"
+            );
+        }
+        OnDemandOracle {
+            members,
+            universe,
+            behavior,
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// Build from a dense [`FaultSet`], keeping only its member list.
+    pub fn from_fault_set(faults: &FaultSet, behavior: TesterBehavior) -> Self {
+        OnDemandOracle {
+            members: faults.members().to_vec(),
+            universe: faults.universe(),
+            behavior,
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether node `u` is faulty — `O(log |F|)`.
+    #[inline]
+    pub fn is_faulty(&self, u: NodeId) -> bool {
+        self.members.binary_search(&u).is_ok()
+    }
+
+    /// The planted fault members, ascending (ground truth — only tests and
+    /// the bench agreement checks should read this).
+    pub fn planted_members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Network size this oracle describes.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The faulty-tester behaviour.
+    pub fn behavior(&self) -> TesterBehavior {
+        self.behavior
+    }
+
+    /// Expand to a dense [`FaultSet`] (tests and small-instance
+    /// cross-checks only — this re-introduces the `O(N)` bitmap the oracle
+    /// exists to avoid).
+    pub fn to_fault_set(&self) -> FaultSet {
+        FaultSet::new(self.universe, &self.members)
+    }
+}
+
+impl SyndromeSource for OnDemandOracle {
+    fn lookup(&self, u: NodeId, v: NodeId, w: NodeId) -> TestResult {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        outcome_from_flags(
+            self.is_faulty(u),
+            self.is_faulty(v),
+            self.is_faulty(w),
+            u,
+            v,
+            w,
+            self.behavior,
+        )
+    }
+
+    fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    fn reset_lookups(&self) {
+        self.lookups.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::behavior_sweep;
+    use crate::oracle::OracleSyndrome;
+    use mmdiag_topology::families::{KAryNCube, StarGraph};
+    use mmdiag_topology::Topology;
+
+    /// The streaming oracle and the bitmap oracle must agree on every
+    /// defined entry, for every behaviour.
+    #[test]
+    fn streaming_equals_bitmap_oracle_everywhere() {
+        let graphs: Vec<Box<dyn Topology>> = vec![
+            Box::new(KAryNCube::with_partition_dim(3, 2, 1)),
+            Box::new(StarGraph::new(4)),
+        ];
+        for g in &graphs {
+            let n = g.node_count();
+            let members = [1, n / 2, n - 1];
+            let faults = FaultSet::new(n, &members);
+            for b in behavior_sweep(23) {
+                let dense = OracleSyndrome::new(faults.clone(), b);
+                let sparse = OnDemandOracle::new(n, &members, b);
+                let mut buf = Vec::new();
+                for u in 0..n {
+                    g.neighbors_into(u, &mut buf);
+                    for i in 0..buf.len() {
+                        for j in (i + 1)..buf.len() {
+                            assert_eq!(
+                                dense.lookup(u, buf[i], buf[j]),
+                                sparse.lookup(u, buf[i], buf[j]),
+                                "{}: u={u}, pair=({},{}), {b:?}",
+                                g.name(),
+                                buf[i],
+                                buf[j]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn construction_dedups_sorts_and_roundtrips() {
+        let o = OnDemandOracle::new(100, &[7, 3, 7, 99], TesterBehavior::AllZero);
+        assert_eq!(o.planted_members(), &[3, 7, 99]);
+        assert!(o.is_faulty(7) && !o.is_faulty(8));
+        assert_eq!(o.universe(), 100);
+        let dense = o.to_fault_set();
+        assert_eq!(dense.members(), o.planted_members());
+        let back = OnDemandOracle::from_fault_set(&dense, TesterBehavior::AllZero);
+        assert_eq!(back.planted_members(), o.planted_members());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_member_rejected() {
+        OnDemandOracle::new(3, &[3], TesterBehavior::AllZero);
+    }
+
+    #[test]
+    fn lookups_counted_and_reset() {
+        let o = OnDemandOracle::new(8, &[2], TesterBehavior::Truthful);
+        assert_eq!(o.lookups(), 0);
+        for _ in 0..7 {
+            o.lookup(0, 1, 2);
+        }
+        assert_eq!(o.lookups(), 7);
+        o.reset_lookups();
+        assert_eq!(o.lookups(), 0);
+        assert_eq!(o.behavior(), TesterBehavior::Truthful);
+    }
+}

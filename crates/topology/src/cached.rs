@@ -8,6 +8,19 @@
 
 use crate::graph::{AdjGraph, NodeId, Topology};
 use crate::partition::Partitionable;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`Cached::new`] calls — the memory events the
+/// implicit (CSR-free) scale path must never trigger. The `--xlarge` bench
+/// sweep snapshots this before and after each implicit cell and asserts the
+/// count did not move, turning "the implicit path materialises nothing"
+/// from a convention into a checked invariant.
+static MATERIALISATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// How many [`Cached::new`] materialisations have happened in this process.
+pub fn materialisation_count() -> u64 {
+    MATERIALISATIONS.load(Ordering::Relaxed)
+}
 
 /// A CSR-materialised topology with precomputed partition labels.
 #[derive(Clone, Debug)]
@@ -23,6 +36,7 @@ impl Cached {
     /// Materialise `t`, caching adjacency, part labels, representatives and
     /// sizes.
     pub fn new<T: Partitionable + ?Sized>(t: &T) -> Self {
+        MATERIALISATIONS.fetch_add(1, Ordering::Relaxed);
         let csr = AdjGraph::from_topology(t);
         let parts = t.part_count();
         let part_labels = (0..t.node_count())

@@ -10,7 +10,7 @@
 
 use crate::families::minimal_partition_dim;
 use crate::graph::{NodeId, Topology};
-use crate::partition::Partitionable;
+use crate::partition::{certified_partition_dim, Partitionable};
 
 /// The hypercube `Q_n` with a prefix decomposition into subcubes `Q_m(v)`.
 #[derive(Clone, Debug)]
@@ -40,6 +40,25 @@ impl Hypercube {
     /// driver rather than here).
     pub fn with_partition_dim(n: usize, m: usize) -> Self {
         assert!(m >= 1 && m < n, "need 1 ≤ m < n");
+        Hypercube { n, m }
+    }
+
+    /// Build `Q_n` with the smallest subcube dimension whose parts
+    /// *certify* — the representative's honest probe tree strictly exceeds
+    /// the fault bound `n` in internal nodes ([`certified_partition_dim`]),
+    /// not merely the size inequality of [`minimal_partition_dim`]. The
+    /// search is part-local (one `2^m`-node probe per candidate `m`), so
+    /// this stays cheap at 10⁶⁺-node scale.
+    pub fn new_certified(n: usize) -> Self {
+        assert!(
+            n >= 1 && n < usize::BITS as usize,
+            "Q_n needs 1 ≤ n < word size"
+        );
+        let lo = minimal_partition_dim(2, n, n).unwrap_or_else(|| {
+            panic!("Q_{n}: no partition dimension satisfies Theorem 2 (need n ≥ 7)")
+        });
+        let m = certified_partition_dim(n, n, lo, |m| Hypercube::with_partition_dim(n, m))
+            .unwrap_or_else(|| panic!("Q_{n}: no partition dimension certifies the bound {n}"));
         Hypercube { n, m }
     }
 
@@ -154,6 +173,19 @@ mod tests {
         assert!(q.are_adjacent(0b0000, 0b0100));
         assert!(!q.are_adjacent(0b0000, 0b0110));
         assert!(!q.are_adjacent(0b0101, 0b0101));
+    }
+
+    #[test]
+    fn certified_partition_dim_actually_certifies() {
+        use crate::partition::honest_probe_contributors_local;
+        // Q_10's size-minimal m = 4 cannot certify bound 10 (16-node parts,
+        // 8 internal nodes); the certified constructor must step to m = 5.
+        let q = Hypercube::new_certified(10);
+        assert_eq!(q.partition_dim(), 5);
+        assert!(honest_probe_contributors_local(&q, 0) > 10);
+        q.check_partition_preconditions().unwrap();
+        // Q_7's size-minimal m = 4 already certifies: no change.
+        assert_eq!(Hypercube::new_certified(7).partition_dim(), 4);
     }
 
     #[test]

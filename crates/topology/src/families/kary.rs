@@ -13,7 +13,7 @@
 
 use crate::families::minimal_partition_dim;
 use crate::graph::{NodeId, Topology};
-use crate::partition::Partitionable;
+use crate::partition::{certified_partition_dim, Partitionable};
 
 /// The exceptional parameter pairs of §5.2 for which diagnosability `2n`
 /// is *not* guaranteed.
@@ -43,6 +43,28 @@ impl KAryNCube {
     /// Build with an explicit partition dimension `1 ≤ m < n`.
     pub fn with_partition_dim(k: usize, n: usize, m: usize) -> Self {
         assert!(k >= 3 && m >= 1 && m < n);
+        KAryNCube { k, n, m }
+    }
+
+    /// Build `Q^k_n` with the smallest partition dimension whose parts
+    /// *certify* the fault bound `2n` ([`certified_partition_dim`]). This is
+    /// what the `Q^3_11` discovery (ROADMAP, PR 3) asked for: the Theorem-4
+    /// size inequality `k^m > 2n` admits 27-node parts whose probe trees
+    /// top out at 15 internal nodes against bound 22 — certification needs
+    /// one dimension more, and this constructor finds that automatically
+    /// with one part-local probe per candidate `m`.
+    pub fn new_certified(k: usize, n: usize) -> Self {
+        assert!(k >= 3, "k-ary n-cube needs k ≥ 3 (k = 2 is the hypercube)");
+        assert!(n >= 1);
+        let lo = minimal_partition_dim(k, n, 2 * n)
+            .unwrap_or_else(|| panic!("Q^{k}_{n}: no partition dimension satisfies Theorem 4"));
+        let m = certified_partition_dim(n, 2 * n, lo, |m| KAryNCube::with_partition_dim(k, n, m))
+            .unwrap_or_else(|| {
+                panic!(
+                    "Q^{k}_{n}: no partition dimension certifies the bound {}",
+                    2 * n
+                )
+            });
         KAryNCube { k, n, m }
     }
 
@@ -185,5 +207,19 @@ mod tests {
     #[should_panic(expected = "k ≥ 3")]
     fn binary_radix_rejected() {
         KAryNCube::new(2, 5);
+    }
+
+    #[test]
+    fn certified_dim_recovers_the_q3_11_hand_pin() {
+        use crate::partition::honest_probe_contributors_local;
+        // The ROADMAP PR 3 discovery: Q^3_11's Theorem-4 m = 3 gives
+        // 27-node parts with 15-internal-node probe trees against bound 22,
+        // and the bench catalog hand-pinned m = 4. The capacity-aware
+        // chooser must land on the same m = 4 without the pin.
+        let g = KAryNCube::new_certified(3, 11);
+        assert_eq!(g.m, 4);
+        assert!(honest_probe_contributors_local(&g, 0) > 22);
+        // Q^3_6's size-minimal m = 3 already certifies bound 12.
+        assert_eq!(KAryNCube::new_certified(3, 6).m, 3);
     }
 }

@@ -28,6 +28,9 @@ pub mod partition;
 pub mod perm;
 pub mod verify;
 
-pub use cached::Cached;
+pub use cached::{materialisation_count, Cached};
 pub use graph::{AdjGraph, NodeId, Topology};
-pub use partition::{certified_fault_capacity, honest_probe_contributors, Partitionable};
+pub use partition::{
+    certified_fault_capacity, certified_partition_dim, honest_probe_contributors,
+    honest_probe_contributors_local, Partitionable,
+};

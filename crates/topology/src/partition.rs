@@ -189,6 +189,152 @@ pub fn honest_probe_contributors<T: Partitionable + ?Sized>(g: &T, part: usize) 
     contributors
 }
 
+/// Part-local variant of [`honest_probe_contributors`]: identical growth,
+/// identical result, but every scratch structure is a hash map keyed by the
+/// nodes actually visited — `O(|part|)` memory instead of the `O(N)` arrays
+/// above.
+///
+/// This is what makes capacity questions answerable at 10⁶⁺ nodes: probing
+/// one 64-node part of `Q_22` must not allocate four-million-entry arrays.
+/// The implicit-topology scale path and [`certified_partition_dim`] both
+/// rely on it; the test-suites guard it against drift from the `O(N)`
+/// version (which in turn is guarded against `mmdiag_core`'s real probe).
+pub fn honest_probe_contributors_local<T: Partitionable + ?Sized>(g: &T, part: usize) -> usize {
+    use std::collections::HashMap;
+
+    let u0 = g.representative(part);
+    let in_part = |v: NodeId| g.part_of(v) == part;
+
+    // Per-visited-node state: (parent, layer, claims, contributed).
+    #[derive(Clone, Copy)]
+    struct Node {
+        parent: NodeId,
+        layer: u32,
+        claims: u32,
+        contributed: bool,
+    }
+    let mut state: HashMap<NodeId, Node> = HashMap::new();
+    state.insert(
+        u0,
+        Node {
+            parent: u0,
+            layer: 0,
+            claims: 0,
+            contributed: false,
+        },
+    );
+
+    let mut candidates: Vec<NodeId> = g
+        .neighbors(u0)
+        .into_iter()
+        .filter(|&v| in_part(v))
+        .collect();
+    candidates.sort_unstable();
+    if candidates.len() < 2 {
+        return 0;
+    }
+    let mut frontier = candidates;
+    for &v in &frontier {
+        state.insert(
+            v,
+            Node {
+                parent: u0,
+                layer: 1,
+                claims: 0,
+                contributed: false,
+            },
+        );
+    }
+    let mut contributors = 1usize; // u0
+    state.get_mut(&u0).expect("seed visited").contributed = true;
+
+    let mut buf = Vec::new();
+    let mut next: Vec<NodeId> = Vec::new();
+    let mut cur_layer = 1u32;
+    while !frontier.is_empty() {
+        next.clear();
+        cur_layer += 1;
+        frontier.sort_unstable();
+        for &u in &frontier {
+            let tu = state[&u].parent;
+            g.neighbors_into(u, &mut buf);
+            for &v in &buf {
+                if v == tu || !in_part(v) {
+                    continue;
+                }
+                if let Some(&seen) = state.get(&v) {
+                    // Same spread heuristic as the O(N) version.
+                    if seen.layer == cur_layer
+                        && state[&seen.parent].claims > 1
+                        && state[&u].claims == 0
+                    {
+                        state.get_mut(&seen.parent).expect("parent visited").claims -= 1;
+                        state.get_mut(&u).expect("frontier visited").claims += 1;
+                        state.get_mut(&v).expect("child visited").parent = u;
+                    }
+                    continue;
+                }
+                state.insert(
+                    v,
+                    Node {
+                        parent: u,
+                        layer: cur_layer,
+                        claims: 0,
+                        contributed: false,
+                    },
+                );
+                state.get_mut(&u).expect("frontier visited").claims += 1;
+                next.push(v);
+            }
+        }
+        for &u in &frontier {
+            state.get_mut(&u).expect("frontier visited").claims = 0;
+        }
+        for &v in &next {
+            let p = state[&v].parent;
+            let pn = state.get_mut(&p).expect("parent visited");
+            if !pn.contributed {
+                pn.contributed = true;
+                contributors += 1;
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    contributors
+}
+
+/// Capacity-aware partition-dimension chooser: walk `m` upward from `lo`
+/// and return the first dimension whose decomposition both keeps strictly
+/// more parts than `bound` *and* certifies — the representative's honest
+/// probe tree (computed part-locally, so this is cheap even on 10⁶⁺-node
+/// instances) has strictly more than `bound` internal nodes.
+///
+/// This closes the gap [`crate::families::minimal_partition_dim`] leaves
+/// open: the size inequality `radix^m > bound + 1` is necessary but not
+/// sufficient, because dense low-diameter parts grow shallow probe trees
+/// (the `Q^3_11` discovery: 27-node parts top out at 15 internal nodes
+/// against fault bound 22). Only part 0 is probed — the prefix
+/// decompositions this is used with induce the same subgraph in every part
+/// (fixing the prefix does not change the low-coordinate adjacency rules),
+/// so one part speaks for all of them.
+pub fn certified_partition_dim<G, F>(n: usize, bound: usize, lo: usize, build: F) -> Option<usize>
+where
+    G: Partitionable,
+    F: Fn(usize) -> G,
+{
+    for m in lo..n {
+        let g = build(m);
+        if g.part_count() <= bound {
+            // Parts only get scarcer as m grows; no larger m can work.
+            return None;
+        }
+        if honest_probe_contributors_local(&g, 0) > bound {
+            return Some(m);
+        }
+    }
+    None
+}
+
 /// The largest fault bound the partition-driven driver can support on this
 /// decomposition: every part must be able to certify when fault-free
 /// (strictly more probe-tree internal nodes than the bound) and the
@@ -422,5 +568,39 @@ mod tests {
         let t = TwoPaths::new();
         assert_eq!(honest_probe_contributors(&t, 0), 0);
         assert_eq!(certified_fault_capacity(&t), 0);
+    }
+
+    #[test]
+    fn local_probe_matches_dense_probe() {
+        // The O(|part|)-memory variant must agree with the O(N) arrays on
+        // every part of both fixture decompositions, including the
+        // degenerate no-witness-pair case.
+        let tri = TwoTriangles::new();
+        let paths = TwoPaths::new();
+        for part in 0..2 {
+            assert_eq!(
+                honest_probe_contributors_local(&tri, part),
+                honest_probe_contributors(&tri, part)
+            );
+            assert_eq!(
+                honest_probe_contributors_local(&paths, part),
+                honest_probe_contributors(&paths, part)
+            );
+        }
+    }
+
+    #[test]
+    fn certified_dim_walks_past_uncertifiable_sizes() {
+        use crate::families::Hypercube;
+        // Q_10 with the size-minimal m = 4: 16-node parts top out at 8
+        // probe-tree internal nodes, below the bound 10 — the chooser must
+        // walk to m = 5 (32-node parts certify bound 10).
+        let m = certified_partition_dim(10, 10, 4, |m| Hypercube::with_partition_dim(10, m));
+        assert_eq!(m, Some(5));
+        // An impossible bound exhausts the part-count budget and bails.
+        assert_eq!(
+            certified_partition_dim(10, 600, 4, |m| Hypercube::with_partition_dim(10, m)),
+            None
+        );
     }
 }

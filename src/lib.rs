@@ -3,5 +3,6 @@ pub use mmdiag_baselines as baselines;
 pub use mmdiag_core as diagnosis;
 pub use mmdiag_distsim as distsim;
 pub use mmdiag_exec as exec;
+pub use mmdiag_implicit as implicit;
 pub use mmdiag_syndrome as syndrome;
 pub use mmdiag_topology as topology;

@@ -23,13 +23,17 @@ use mmdiag::diagnosis::{
     diagnose, diagnose_auto, diagnose_parallel, diagnose_with, ExecutionBackend,
 };
 use mmdiag::distsim::{plan, simulate, FaultTimeline, LatencyModel};
-use mmdiag::syndrome::{behavior_sweep, FaultSet, OracleSyndrome, TesterBehavior};
+use mmdiag::implicit::ImplicitTopology;
+use mmdiag::syndrome::{
+    behavior_sweep, FaultSet, OnDemandOracle, OracleSyndrome, SyndromeSource, TesterBehavior,
+};
 use mmdiag::topology::algorithms::vertex_connectivity;
 use mmdiag::topology::families::{
     Arrangement, AugmentedCube, AugmentedKAryNCube, CrossedCube, EnhancedHypercube,
     FoldedHypercube, Hypercube, KAryNCube, NKStar, Pancake, ShuffleCube, StarGraph, TwistedCube,
     TwistedNCube,
 };
+use mmdiag::topology::Cached;
 use mmdiag::topology::{Partitionable, Topology};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -145,6 +149,139 @@ fn cases() -> Vec<FamilyCase> {
             kappa_probe: Box::new(Arrangement::new(5, 2)),
         },
     ]
+}
+
+/// One (materialised, implicit) pair per family at the cross-check sizes.
+fn representation_pairs() -> Vec<(Cached, Box<dyn Partitionable + Sync>)> {
+    fn pair<T: Partitionable + Clone + Sync + 'static>(
+        fam: T,
+    ) -> (Cached, Box<dyn Partitionable + Sync>) {
+        (Cached::new(&fam), Box::new(ImplicitTopology::new(fam)))
+    }
+    vec![
+        pair(Hypercube::new(7)),
+        pair(CrossedCube::new(7)),
+        pair(TwistedCube::new(7)),
+        pair(TwistedNCube::new(7)),
+        pair(FoldedHypercube::new(8)),
+        pair(EnhancedHypercube::new(8, 3)),
+        pair(AugmentedCube::new(10)),
+        pair(ShuffleCube::new(10)),
+        pair(KAryNCube::new(3, 6)),
+        pair(AugmentedKAryNCube::new(4, 4)),
+        pair(StarGraph::new(6)),
+        pair(NKStar::new(6, 3)),
+        pair(Pancake::new(6)),
+        pair(Arrangement::new(6, 3)),
+    ]
+}
+
+/// The ISSUE-4 scale contract: CSR-free implicit adjacency must be
+/// **bit-identical** to the materialised `Cached` path on every family —
+/// same fault set, same certified part, same probe count, same healthy
+/// set, same spanning tree, and (because both present sorted neighbour
+/// lists, hence the same lookup sequence) the same lookup accounting.
+/// Additionally the `O(|F|)`-state streaming oracle must be
+/// interchangeable with the bitmap oracle on both representations.
+#[test]
+fn implicit_and_cached_diagnoses_are_bit_identical_on_every_family() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1111_5EED);
+    for (cached, implicit) in representation_pairs() {
+        let g = implicit.as_ref();
+        let n = g.node_count();
+        let bound = g.driver_fault_bound();
+        for trial in 0..2u64 {
+            let size = if trial == 0 {
+                bound
+            } else {
+                rng.gen_below(bound as u64 + 1) as usize
+            };
+            let faults = FaultSet::random(n, size, &mut rng);
+            for b in [
+                TesterBehavior::AllZero,
+                TesterBehavior::Random { seed: trial },
+            ] {
+                let dense = OracleSyndrome::new(faults.clone(), b);
+                let on_cached = diagnose(&cached, &dense)
+                    .unwrap_or_else(|e| panic!("{}: cached: {e} ({b:?})", g.name()));
+                dense.reset_lookups();
+                let on_implicit = diagnose(&g, &dense)
+                    .unwrap_or_else(|e| panic!("{}: implicit: {e} ({b:?})", g.name()));
+                assert_eq!(on_implicit.faults, faults.members(), "{} {b:?}", g.name());
+                assert_eq!(on_implicit.faults, on_cached.faults, "{} {b:?}", g.name());
+                assert_eq!(
+                    on_implicit.certified_part,
+                    on_cached.certified_part,
+                    "{} {b:?}",
+                    g.name()
+                );
+                assert_eq!(on_implicit.probes, on_cached.probes, "{} {b:?}", g.name());
+                assert_eq!(
+                    on_implicit.healthy_count,
+                    on_cached.healthy_count,
+                    "{} {b:?}",
+                    g.name()
+                );
+                assert_eq!(
+                    on_implicit.tree.edges(),
+                    on_cached.tree.edges(),
+                    "{} {b:?}",
+                    g.name()
+                );
+                assert_eq!(
+                    on_implicit.lookups_used,
+                    on_cached.lookups_used,
+                    "{}: identical scan order implies identical lookups {b:?}",
+                    g.name()
+                );
+
+                // Streaming oracle: same outcomes from O(|F|) state.
+                let sparse = OnDemandOracle::new(n, faults.members(), b);
+                let streamed = diagnose(&g, &sparse)
+                    .unwrap_or_else(|e| panic!("{}: streaming: {e} ({b:?})", g.name()));
+                assert_eq!(streamed.faults, on_implicit.faults, "{} {b:?}", g.name());
+                assert_eq!(
+                    streamed.tree.edges(),
+                    on_implicit.tree.edges(),
+                    "{} {b:?}",
+                    g.name()
+                );
+                assert_eq!(
+                    streamed.lookups_used,
+                    on_implicit.lookups_used,
+                    "{} {b:?}",
+                    g.name()
+                );
+            }
+        }
+    }
+}
+
+/// The event simulator's static-timeline leg must accept an implicit
+/// topology unchanged: same diagnosis, same certified part, same cost
+/// trace as over the materialised view.
+#[test]
+fn simulator_accepts_implicit_topologies() {
+    let fam = Hypercube::new(7);
+    let cached = Cached::new(&fam);
+    let implicit = ImplicitTopology::new(fam);
+    let faults = FaultSet::new(128, &[5, 40, 99]);
+    let timeline = FaultTimeline::static_faults(faults.clone(), TesterBehavior::AllZero);
+    let on_implicit = simulate(&implicit, &timeline, &LatencyModel::Unit).unwrap();
+    let on_cached = simulate(&cached, &timeline, &LatencyModel::Unit).unwrap();
+    assert_eq!(on_implicit.faults, faults.members());
+    assert_eq!(on_implicit.faults, on_cached.faults);
+    assert_eq!(on_implicit.certified_part, on_cached.certified_part);
+    assert_eq!(on_implicit.total_time, on_cached.total_time);
+    assert_eq!(on_implicit.events_delivered, on_cached.events_delivered);
+    on_implicit
+        .check_against_plan(&plan(&implicit))
+        .expect("implicit cost trace matches the plan");
+    // And the driver agrees with the simulated diagnosis.
+    let s = OracleSyndrome::new(faults, TesterBehavior::AllZero);
+    let drv = diagnose(&implicit, &s).unwrap();
+    assert_eq!(on_implicit.faults, drv.faults);
+    assert_eq!(on_implicit.probes_until_certificate, drv.probes);
 }
 
 #[test]
