@@ -57,8 +57,11 @@ pub struct BaselineDiagnosis {
     pub lookups_used: u64,
 }
 
-/// Why the baseline could not complete.
+/// Why the baseline could not complete. `#[non_exhaustive]` like
+/// `mmdiag_core::DiagnosisError`, so new failure modes do not break
+/// downstream matches.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum BaselineError {
     /// No seed's cluster reached the internal-node certificate. Under the
     /// model assumptions (`|F| ≤ fault_bound ≤ κ`, `N` large enough for the

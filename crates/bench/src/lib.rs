@@ -41,19 +41,29 @@
 //!   the best available `BENCH_*.json` trajectory ([`calibrate_cutover`])
 //!   instead of trusting the compiled-in 1024.
 //!
+//! Since ISSUE 5 the harness drives everything through the
+//! [`mmdiag::Diagnoser`] session front door: every leg is one builder
+//! policy away from the next (sequential / pooled / auto / strided lanes
+//! / event simulation), the baseline and sampled-checker legs run as the
+//! session's *verification policy* (`verify_claim` against the already
+//! finished diagnosis — no re-diagnosis), and batch submissions go
+//! through `Diagnoser::submit_batch`. The emitted schema is
+//! **`mmdiag-bench/v2`**, a strict superset of v1: every record gains a
+//! `"phases"` object (probe/certify/grow wall times and lookup counts
+//! from the session's [`PhaseTelemetry`]) and a `"verification"` object
+//! (the per-cell [`VerificationVerdict`]). The v1 line-oriented reader
+//! ([`calibrate_cutover_in`]) keeps parsing both generations, so cutover
+//! recalibration works across the v1→v2 trajectory boundary.
+//!
 //! Criterion is not available in the offline build environment; the
 //! `benches/sweep.rs` target (`harness = false`) and the `mmdiag-bench`
 //! binary both drive the sweep below with plain wall-clock timing.
 
 #![warn(missing_docs)]
 
-use mmdiag_baselines::{diagnose_baseline, sampled_check};
-use mmdiag_core::{
-    diagnose, diagnose_batch, diagnose_parallel, diagnose_with, sequential_cutover, Diagnosis,
-    ExecutionBackend,
-};
-use mmdiag_distsim::{plan, simulate, simulate_batch, FaultTimeline, LatencyModel, SimJob};
-use mmdiag_exec::Pool;
+use mmdiag::{BatchJob, Diagnoser, VerificationVerdict};
+use mmdiag_core::{sequential_cutover, Diagnosis, PhaseTelemetry};
+use mmdiag_distsim::{plan, FaultTimeline, LatencyModel};
 use mmdiag_implicit::{ImplicitTopology, MaterialisationGuard};
 use mmdiag_syndrome::{FaultSet, OnDemandOracle, OracleSyndrome, SyndromeSource, TesterBehavior};
 use mmdiag_topology::families::{
@@ -354,6 +364,14 @@ pub struct RunRecord {
     /// Event-simulator leg (unit latencies, static faults); `None` on
     /// driver-only cells.
     pub distsim: Option<DistsimLeg>,
+    /// Per-phase session telemetry (probe/certify/grow wall times +
+    /// lookup counts) of the driver leg's best-timed rep — the v2 schema
+    /// addition.
+    pub phases: PhaseTelemetry,
+    /// The session verification verdict for this cell: `FullBaseline`
+    /// where the baseline leg ran, `Sampled` on driver-only cells,
+    /// `Unverified` on the quick-mode skip set.
+    pub verification: VerificationVerdict,
     /// Did every leg that ran return the planted set?
     pub agree: bool,
 }
@@ -447,8 +465,13 @@ pub fn run_cell_opts(
     with_baseline: bool,
 ) -> RunRecord {
     let g = inst.graph.as_ref();
-    let pool = mmdiag_exec::global();
     let s = OracleSyndrome::new(faults.clone(), behavior);
+
+    // One session per backend policy — the whole cell is "the same front
+    // door, different builder calls".
+    let seq_session = Diagnoser::new(g);
+    let auto_session = Diagnoser::new(g).auto();
+    let pooled_session = Diagnoser::new(g).pooled();
 
     // Driver and auto legs run interleaved (driver, auto, driver, auto, …)
     // after an untimed warmup, each reporting its best rep: on sub-cutover
@@ -466,16 +489,19 @@ pub fn run_cell_opts(
     } else {
         (TIMING_REPS, TIMING_REPS)
     };
-    let drv = diagnose(g, &s).unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
+    let drv = seq_session
+        .run(&s)
+        .unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()))
+        .diagnosis;
     assert_eq!(
         drv.faults,
         faults.members(),
         "{}: driver missed the planted set",
         g.name()
     );
-    let auto_backend = ExecutionBackend::auto(g.node_count());
     let mut driver_nanos = u128::MAX;
     let mut auto_nanos = u128::MAX;
+    let mut phases = PhaseTelemetry::default();
     let mut auto = None;
     for pair in 0..max_pairs {
         if pair >= min_pairs && (auto_nanos as f64) <= (driver_nanos as f64) * REGRESSION_TOLERANCE
@@ -483,21 +509,30 @@ pub fn run_cell_opts(
             break;
         }
         let t0 = Instant::now();
-        let d = diagnose(g, &s).unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
-        driver_nanos = driver_nanos.min(t0.elapsed().as_nanos());
-        debug_assert!(semantically_equal(&d, &drv));
+        let d = seq_session
+            .run(&s)
+            .unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
+        let elapsed = t0.elapsed().as_nanos();
+        if elapsed < driver_nanos {
+            driver_nanos = elapsed;
+            phases = d.telemetry;
+        }
+        debug_assert!(semantically_equal(&d.diagnosis, &drv));
         let t0 = Instant::now();
-        let a = mmdiag_core::diagnose_auto(g, &s)
+        let a = auto_session
+            .run(&s)
             .unwrap_or_else(|e| panic!("{}: auto backend failed: {e}", g.name()));
         auto_nanos = auto_nanos.min(t0.elapsed().as_nanos());
         auto = Some(a);
     }
     let auto = auto.expect("at least one timing pair runs");
     let (pooled_nanos, pooled) = best_of(|| {
-        diagnose_with(g, &s, &ExecutionBackend::Pooled(pool))
+        pooled_session
+            .run(&s)
             .unwrap_or_else(|e| panic!("{}: pooled backend failed: {e}", g.name()))
     });
-    let backend_agree = semantically_equal(&auto, &drv) && semantically_equal(&pooled, &drv);
+    let backend_agree =
+        semantically_equal(&auto.diagnosis, &drv) && semantically_equal(&pooled.diagnosis, &drv);
     assert!(backend_agree, "{}: backend legs disagree", g.name());
     let auto_no_regression = g.node_count() >= sequential_cutover()
         || (auto_nanos as f64) <= (driver_nanos as f64) * REGRESSION_TOLERANCE;
@@ -505,26 +540,31 @@ pub fn run_cell_opts(
     let mut parallel = Vec::with_capacity(THREAD_SWEEP.len());
     let mut par_agree = true;
     for threads in THREAD_SWEEP {
+        let lane_session = Diagnoser::new(g).lanes(threads);
         let t0 = Instant::now();
-        let par = diagnose_parallel(g, &s, threads)
+        let par = lane_session
+            .run(&s)
             .unwrap_or_else(|e| panic!("{}: parallel driver failed: {e}", g.name()));
         parallel.push(ParallelLeg {
             threads,
             nanos: t0.elapsed().as_nanos(),
         });
-        par_agree &= par.faults == drv.faults && par.certified_part == drv.certified_part;
+        par_agree &= par.diagnosis.faults == drv.faults
+            && par.diagnosis.certified_part == drv.certified_part;
     }
 
-    // Event-level simulator leg: unit latencies, static timeline — the
-    // regime where observation must reproduce both the cost model and the
-    // driver exactly. Infeasible per-message at 10⁵⁺ nodes: driver-only
-    // instances skip it.
+    // Event-level simulator leg, through the session's simulation door:
+    // unit latencies, static timeline — the regime where observation must
+    // reproduce both the cost model and the driver exactly. Infeasible
+    // per-message at 10⁵⁺ nodes: driver-only instances skip it.
     let distsim = if inst.driver_only {
         None
     } else {
+        let sim_session = Diagnoser::new(g).simulated(LatencyModel::Unit);
         let timeline = FaultTimeline::static_faults(faults.clone(), behavior);
         let t0 = Instant::now();
-        let sim = simulate(g, &timeline, &LatencyModel::Unit)
+        let sim = sim_session
+            .simulate(&timeline)
             .unwrap_or_else(|e| panic!("{}: distsim failed: {e}", g.name()));
         let sim_nanos = t0.elapsed().as_nanos();
         let model = plan(g);
@@ -548,38 +588,50 @@ pub fn run_cell_opts(
         })
     };
 
-    let baseline = if with_baseline && !inst.driver_only {
+    // Verification: the session policy appropriate to the cell kind,
+    // re-checking the already finished diagnosis (no re-diagnosis). The
+    // legacy BaselineLeg/SampledLeg views are derived from the verdict so
+    // the v1 schema fields keep their meaning.
+    let (verification, baseline, sampled) = if inst.driver_only {
+        let verdict = Diagnoser::new(g)
+            .verify_sampled(samples_per_part(), 0x5A3D ^ faults.len() as u64)
+            .verify_claim(&s, &drv.faults, drv.certified_part);
+        let leg = sampled_leg_from(&verdict, g.name());
+        (verdict, None, Some(leg))
+    } else if with_baseline {
         s.reset_lookups();
-        let t0 = Instant::now();
-        let base = diagnose_baseline(g, &s)
-            .unwrap_or_else(|e| panic!("{}: baseline failed: {e}", g.name()));
-        assert_eq!(base.faults, drv.faults, "{}: baseline disagrees", g.name());
-        Some(BaselineLeg {
-            nanos: t0.elapsed().as_nanos(),
-            lookups: base.lookups_used,
-        })
+        let verdict =
+            Diagnoser::new(g)
+                .verify_full()
+                .verify_claim(&s, &drv.faults, drv.certified_part);
+        let (lookups, agree, nanos) = match verdict.clone() {
+            VerificationVerdict::FullBaseline {
+                lookups,
+                agree,
+                nanos,
+            } => (lookups, agree, nanos),
+            VerificationVerdict::Failed { error, .. } => {
+                panic!("{}: baseline failed: {error}", g.name())
+            }
+            other => unreachable!("verify_full yields a FullBaseline verdict, got {other:?}"),
+        };
+        assert!(agree, "{}: baseline disagrees", g.name());
+        (verdict, Some(BaselineLeg { nanos, lookups }), None)
     } else {
-        None
-    };
-
-    // Driver-only cells: the sampled spot-checker supplies the independent
-    // verdict the infeasible baseline cannot.
-    let sampled = if inst.driver_only {
-        Some(run_sampled_leg(g, &s, &drv, 0x5A3D ^ faults.len() as u64))
-    } else {
-        None
+        (VerificationVerdict::Unverified, None, None)
     };
 
     let agree = par_agree
         && backend_agree
         && distsim.as_ref().is_none_or(|d| d.agree)
-        && sampled.as_ref().is_none_or(|c| c.agree);
+        && sampled.as_ref().is_none_or(|c| c.agree)
+        && verification.agreed_or_unverified();
     assert!(agree, "{}: legs disagree", g.name());
 
     // Lookup accounting for the driver comes from its own run, measured
     // once more so backend reps above cannot pollute it.
     s.reset_lookups();
-    let drv_clean = diagnose(g, &s).unwrap();
+    let drv_clean = seq_session.run(&s).unwrap().diagnosis;
 
     RunRecord {
         family: inst.family,
@@ -599,7 +651,7 @@ pub fn run_cell_opts(
             nanos: pooled_nanos,
         },
         auto: BackendLeg {
-            backend: auto_backend.label(),
+            backend: auto.backend,
             nanos: auto_nanos,
         },
         auto_no_regression,
@@ -607,52 +659,45 @@ pub fn run_cell_opts(
         baseline,
         sampled,
         distsim,
+        phases,
+        verification,
         agree,
     }
 }
 
-/// Samples per part for the spot-checker leg (`MMDIAG_SAMPLES`, default 2).
+/// Samples per part for the spot-checker leg (`MMDIAG_SAMPLES`, default 2
+/// — parsed once through [`mmdiag_exec::knobs`]).
 fn samples_per_part() -> usize {
-    std::env::var("MMDIAG_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&k| k > 0)
-        .unwrap_or(2)
+    mmdiag_exec::knobs().samples_per_part.unwrap_or(2)
 }
 
-/// Run the sampled spot-checker against a completed diagnosis and panic on
-/// any disagreement — at these sizes a disagreement means a genuine bug,
-/// not noise.
-fn run_sampled_leg<T, S>(g: &T, s: &S, drv: &Diagnosis, seed: u64) -> SampledLeg
-where
-    T: Partitionable + ?Sized,
-    S: SyndromeSource + ?Sized,
-{
-    let t0 = Instant::now();
-    let check = sampled_check(
-        g,
-        s,
-        &drv.faults,
-        drv.certified_part,
-        g.driver_fault_bound(),
-        samples_per_part(),
-        seed,
-    );
-    let leg = SampledLeg {
-        nanos: t0.elapsed().as_nanos(),
-        samples: check.samples.len(),
-        checked_tests: check.checked_tests,
-        disagreements: check.disagreements.len(),
-        certificate_ok: check.certificate_ok,
-        agree: check.agree,
+/// View a sampled session verdict as the legacy [`SampledLeg`] (the v1
+/// schema's `"sampled_check"` object), panicking on disagreement — at
+/// these sizes a disagreement means a genuine bug, not noise.
+fn sampled_leg_from(verdict: &VerificationVerdict, instance: String) -> SampledLeg {
+    let VerificationVerdict::Sampled {
+        samples,
+        checked_tests,
+        disagreements,
+        certificate_ok,
+        agree,
+        nanos,
+    } = verdict.clone()
+    else {
+        unreachable!("sampled policy yields a Sampled verdict")
     };
     assert!(
-        leg.agree,
-        "{}: sampled check disagrees with the driver at {:?}",
-        g.name(),
-        check.disagreements
+        agree,
+        "{instance}: sampled check disagrees with the driver ({disagreements} disagreements)"
     );
-    leg
+    SampledLeg {
+        nanos,
+        samples,
+        checked_tests,
+        disagreements,
+        certificate_ok,
+        agree,
+    }
 }
 
 /// One `--xlarge` cell: the slimmed measurement protocol for 10⁶⁺-node
@@ -666,10 +711,16 @@ pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehav
     let g = inst.graph.as_ref();
     let guard = MaterialisationGuard::begin();
     let s = OnDemandOracle::new(g.node_count(), members, behavior);
+    let seq_session = Diagnoser::new(g);
+    let auto_session = Diagnoser::new(g).auto();
 
     let t0 = Instant::now();
-    let drv = diagnose(g, &s).unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
+    let report = seq_session
+        .run(&s)
+        .unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
     let driver_nanos = t0.elapsed().as_nanos();
+    let drv = report.diagnosis;
+    let phases = report.telemetry;
     assert_eq!(
         drv.faults,
         s.planted_members(),
@@ -678,19 +729,22 @@ pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehav
     );
     let driver_lookups = drv.lookups_used;
 
-    let auto_backend = ExecutionBackend::auto(g.node_count());
     s.reset_lookups();
     let t0 = Instant::now();
-    let auto = mmdiag_core::diagnose_auto(g, &s)
+    let auto = auto_session
+        .run(&s)
         .unwrap_or_else(|e| panic!("{}: auto backend failed: {e}", g.name()));
     let auto_nanos = t0.elapsed().as_nanos();
     assert!(
-        semantically_equal(&auto, &drv),
+        semantically_equal(&auto.diagnosis, &drv),
         "{}: auto backend disagrees",
         g.name()
     );
 
-    let sampled = run_sampled_leg(g, &s, &drv, 0x51AE ^ members.len() as u64);
+    let verification = Diagnoser::new(g)
+        .verify_sampled(samples_per_part(), 0x51AE ^ members.len() as u64)
+        .verify_claim(&s, &drv.faults, drv.certified_part);
+    let sampled = sampled_leg_from(&verification, g.name());
     guard.assert_unchanged(&g.name());
 
     RunRecord {
@@ -710,11 +764,11 @@ pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehav
         // this size; a separate forced-pooled rep would double multi-second
         // cell cost for no extra information on a calibrated cutover.
         pooled: BackendLeg {
-            backend: auto_backend.label(),
+            backend: auto.backend,
             nanos: auto_nanos,
         },
         auto: BackendLeg {
-            backend: auto_backend.label(),
+            backend: auto.backend,
             nanos: auto_nanos,
         },
         auto_no_regression: true,
@@ -722,6 +776,8 @@ pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehav
         baseline: None,
         sampled: Some(sampled),
         distsim: None,
+        phases,
+        verification,
         agree: true,
     }
 }
@@ -810,24 +866,34 @@ pub fn sweep(
     (records, batches)
 }
 
-/// Evaluate one instance's sweep syndromes as a single `diagnose_batch`
-/// submission per backend and cross-check the two.
+/// Evaluate one instance's sweep syndromes as a single
+/// `Diagnoser::submit_batch` submission per backend policy and
+/// cross-check the two.
 fn batch_submission(inst: &Instance, syndromes: &[OracleSyndrome]) -> BatchRecord {
     let g = inst.graph.as_ref();
-    let pool = mmdiag_exec::global();
+    let jobs: Vec<BatchJob> = syndromes
+        .iter()
+        .map(|s| BatchJob::Source(s as &(dyn SyndromeSource + Sync)))
+        .collect();
+    let seq_session = Diagnoser::new(g);
+    let pooled_session = Diagnoser::new(g).pooled();
     let t0 = Instant::now();
-    let seq = diagnose_batch(g, syndromes, &ExecutionBackend::Sequential);
+    let seq = seq_session.submit_batch(&jobs);
     let seq_nanos = t0.elapsed().as_nanos();
     let t0 = Instant::now();
-    let pooled = diagnose_batch(g, syndromes, &ExecutionBackend::Pooled(pool));
+    let pooled = pooled_session.submit_batch(&jobs);
     let pooled_nanos = t0.elapsed().as_nanos();
     let agree = seq.len() == pooled.len()
         && seq.iter().zip(&pooled).all(|(a, b)| match (a, b) {
-            (Ok(a), Ok(b)) => {
-                // Batched scans are in-order on both backends, so even the
-                // accounting must match.
-                semantically_equal(a, b) && a.probes == b.probes
-            }
+            (Ok(a), Ok(b)) => match (a.report(), b.report()) {
+                (Some(a), Some(b)) => {
+                    // Batched scans are in-order on both backends, so even
+                    // the accounting must match.
+                    semantically_equal(&a.diagnosis, &b.diagnosis)
+                        && a.diagnosis.probes == b.diagnosis.probes
+                }
+                _ => false,
+            },
             _ => false,
         });
     assert!(agree, "{}: batched backends disagree", g.name());
@@ -882,15 +948,16 @@ pub fn distsim_scenarios(catalog: &[Instance]) -> Vec<ScenarioRecord> {
     let pool = mmdiag_exec::global();
     let eligible: Vec<&Instance> = catalog.iter().filter(|i| !i.driver_only).collect();
     let per_instance: Vec<Vec<ScenarioRecord>> =
-        pool.map(&eligible, |i, inst| instance_scenarios(inst, i, pool));
+        pool.map(&eligible, |i, inst| instance_scenarios(inst, i));
     per_instance.into_iter().flatten().collect()
 }
 
 /// The two scenario cells of one instance. The unit-latency reference and
-/// the skewed run go through [`simulate_batch`] (one submission on the
-/// pool); the injection run depends on the reference's observed growth
-/// onset and follows once that is known.
-fn instance_scenarios(inst: &Instance, i: usize, pool: &Pool) -> Vec<ScenarioRecord> {
+/// the skewed run are one `submit_batch` each on a simulated session (the
+/// session's latency model is a per-session policy, so the two regimes
+/// are two sessions over the same instance); the injection run depends on
+/// the reference's observed growth onset and follows once that is known.
+fn instance_scenarios(inst: &Instance, i: usize) -> Vec<ScenarioRecord> {
     let g = inst.graph.as_ref();
     let n = g.node_count();
     let bound = g.driver_fault_bound();
@@ -907,16 +974,19 @@ fn instance_scenarios(inst: &Instance, i: usize, pool: &Pool) -> Vec<ScenarioRec
         min: 1,
         max: 8,
     };
-    let jobs: Vec<SimJob> = vec![(timeline.clone(), LatencyModel::Unit), (timeline, skew)];
-    let mut reports = simulate_batch(g, &jobs, pool);
-    let skewed = reports
-        .pop()
-        .unwrap()
-        .unwrap_or_else(|e| panic!("{}: skewed sim failed: {e}", g.name()));
-    let unit = reports
-        .pop()
-        .unwrap()
-        .unwrap_or_else(|e| panic!("{}: unit sim failed: {e}", g.name()));
+    let unit_session = Diagnoser::new(g).simulated(LatencyModel::Unit);
+    let skew_session = Diagnoser::new(g).simulated(skew);
+    // Two latency regimes are two sessions; dispatch their single sims as
+    // one pooled submission so they run concurrently like the historical
+    // 2-job `simulate_batch` call did.
+    let legs: [(&Diagnoser, &str); 2] = [(&unit_session, "unit"), (&skew_session, "skewed")];
+    let mut reports = mmdiag_exec::global().map(&legs, |_, (session, label)| {
+        session
+            .simulate(&timeline)
+            .unwrap_or_else(|e| panic!("{}: {label} sim failed: {e}", g.name()))
+    });
+    let skewed = reports.pop().expect("two simulation legs");
+    let unit = reports.pop().expect("two simulation legs");
     let skew_ok = skewed.faults == faults.members()
         && skewed.faults == unit.faults
         && skewed.total_time > unit.total_time;
@@ -950,7 +1020,8 @@ fn instance_scenarios(inst: &Instance, i: usize, pool: &Pool) -> Vec<ScenarioRec
         .expect("some non-representative healthy node exists");
     let onset = unit.growth.started + 1;
     let inj_timeline = FaultTimeline::with_onsets(base.clone(), &[(onset, victim)], behavior);
-    let injected = simulate(g, &inj_timeline, &LatencyModel::Unit)
+    let injected = unit_session
+        .simulate(&inj_timeline)
         .unwrap_or_else(|e| panic!("{}: injection sim failed: {e}", g.name()));
     let expected: Vec<usize> = inj_timeline.final_faults().members().to_vec();
     let inj_ok = injected.faults == expected;
@@ -985,6 +1056,43 @@ fn instance_scenarios(inst: &Instance, i: usize, pool: &Pool) -> Vec<ScenarioRec
     out
 }
 
+/// Render a session verification verdict as its v2 JSON object.
+fn verification_json(v: &VerificationVerdict) -> String {
+    match v {
+        VerificationVerdict::Unverified => "{\"method\": \"none\"}".to_string(),
+        VerificationVerdict::Sampled {
+            samples,
+            checked_tests,
+            disagreements,
+            certificate_ok,
+            agree,
+            nanos,
+        } => format!(
+            concat!(
+                "{{\"method\": \"sampled\", \"samples\": {}, \"checked_tests\": {}, ",
+                "\"disagreements\": {}, \"certificate_ok\": {}, \"agree\": {}, \"nanos\": {}}}"
+            ),
+            samples, checked_tests, disagreements, certificate_ok, agree, nanos,
+        ),
+        VerificationVerdict::FullBaseline {
+            lookups,
+            agree,
+            nanos,
+        } => format!(
+            "{{\"method\": \"full_baseline\", \"lookups\": {lookups}, \"agree\": {agree}, \
+             \"nanos\": {nanos}}}"
+        ),
+        VerificationVerdict::Failed { method, error } => format!(
+            "{{\"method\": \"{}\", \"failed\": true, \"error\": \"{}\", \"agree\": false}}",
+            json_escape(method),
+            json_escape(error),
+        ),
+        // The enum is non_exhaustive upstream; render unknown variants
+        // conservatively rather than failing the whole emission.
+        _ => "{\"method\": \"unknown\"}".to_string(),
+    }
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -1000,11 +1108,13 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Render records as the `BENCH_<pr>.json` trajectory document
-/// (`mmdiag-bench/v1` schema). Additions over `BENCH_3`: the `exec`
-/// object reports the *live* (possibly trajectory-calibrated) cutover,
-/// and every driver-only cell carries a `"sampled_check"` object — the
-/// spot-checker's independent verdict — where `"baseline"`/`"distsim"`
-/// remain JSON `null`.
+/// (**`mmdiag-bench/v2`** schema — a strict superset of v1). Additions
+/// over v1: every record carries a `"phases"` object (the session's
+/// probe/certify/grow wall times and lookup counts) and a
+/// `"verification"` object (the per-cell session verdict: method,
+/// agreement, cost — `"method": "none"` on the quick-mode skip set).
+/// Every v1 key is preserved unchanged, so the line-oriented v1 reader
+/// ([`calibrate_cutover_in`]) parses v2 files too.
 ///
 /// Hand-rolled serialisation — serde is not available offline, and the
 /// schema is flat enough that this stays readable.
@@ -1016,7 +1126,7 @@ pub fn to_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mmdiag-bench/v1\",\n");
+    out.push_str("  \"schema\": \"mmdiag-bench/v2\",\n");
     out.push_str(&format!("  \"bench_id\": \"{}\",\n", json_escape(bench_id)));
     out.push_str(&format!(
         "  \"exec\": {{\"pool_threads\": {}, \"sequential_cutover_nodes\": {}, \
@@ -1084,6 +1194,20 @@ pub fn to_json(
             ),
             None => "null".to_string(),
         };
+        // v2 additions: the session's per-phase telemetry and the
+        // verification verdict of this cell.
+        let phases = format!(
+            concat!(
+                "{{\"probe_nanos\": {}, \"certify_nanos\": {}, \"grow_nanos\": {}, ",
+                "\"probe_lookups\": {}, \"grow_lookups\": {}}}"
+            ),
+            r.phases.probe_nanos,
+            r.phases.certify_nanos,
+            r.phases.grow_nanos,
+            r.phases.probe_lookups,
+            r.phases.grow_lookups,
+        );
+        let verification = verification_json(&r.verification);
         out.push_str(&format!(
             concat!(
                 "    {{\"family\": \"{}\", \"instance\": \"{}\", \"nodes\": {}, ",
@@ -1097,6 +1221,8 @@ pub fn to_json(
                 "\"baseline\": {}, ",
                 "\"sampled_check\": {}, ",
                 "\"distsim\": {}, ",
+                "\"phases\": {}, ",
+                "\"verification\": {}, ",
                 "\"speedup_vs_baseline\": {}, \"lookup_ratio\": {}, ",
                 "\"driver_only\": {}, \"agree\": {}}}{}\n"
             ),
@@ -1121,6 +1247,8 @@ pub fn to_json(
             baseline,
             sampled,
             distsim,
+            phases,
+            verification,
             speedup_vs_baseline,
             lookup_ratio,
             r.baseline.is_none() && r.distsim.is_none(),
@@ -1201,7 +1329,7 @@ fn int_after(hay: &str, key: &str) -> Option<u128> {
 /// backend for *every* smaller size (observed: a one-rep `Q_23` cell 13%
 /// over tolerance calibrated the cutover to 8.4M nodes). Sizes measured
 /// with the full multi-rep protocol contribute ≥ 4 cells each.
-const CALIBRATION_MIN_CELLS: usize = 3;
+pub const CALIBRATION_MIN_CELLS: usize = 3;
 
 /// Read the highest-numbered `BENCH_*.json` in `dir` and derive the
 /// smallest instance size from which the pooled backend keeps up with the
@@ -1534,6 +1662,35 @@ mod tests {
         assert!(json.contains("\"baseline\": null"));
         assert!(json.contains("\"distsim\": null"));
         assert!(json.contains("\"driver_only\": true"));
+        // v2: driver-only cells carry the sampled session verdict.
+        assert!(json.contains("\"verification\": {\"method\": \"sampled\""));
+    }
+
+    #[test]
+    fn v1_cutover_reader_parses_v2_records() {
+        // The calibration reader is line-oriented over the `"nodes"` /
+        // `"driver": {"nanos"` / `"pooled": {"nanos"` keys, which v2
+        // preserves verbatim — a v2 trajectory must calibrate exactly like
+        // a v1 one.
+        let dir = std::env::temp_dir().join(format!("mmdiag-v2cal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = Instance::new("hypercube", &Hypercube::new(7));
+        let recs: Vec<RunRecord> = (0..CALIBRATION_MIN_CELLS)
+            .map(|i| {
+                run_cell(
+                    &inst,
+                    &scatter_faults(128, 2, i as u64),
+                    TesterBehavior::AllZero,
+                )
+            })
+            .collect();
+        let json = to_json("BENCH_12", &recs, &[], &[]);
+        assert!(json.contains("\"schema\": \"mmdiag-bench/v2\""));
+        std::fs::write(dir.join("BENCH_12.json"), &json).unwrap();
+        let cal = calibrate_cutover_in(&dir).expect("v2 trajectory parses");
+        assert_eq!(cal.groups, 1);
+        assert!(cal.source.ends_with("BENCH_12.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -1604,8 +1761,10 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for needle in [
-            "\"schema\": \"mmdiag-bench/v1\"",
+            "\"schema\": \"mmdiag-bench/v2\"",
             "\"bench_id\": \"BENCH_TEST\"",
+            "\"phases\": {\"probe_nanos\": ",
+            "\"verification\": {\"method\": \"full_baseline\"",
             "\"exec\": {\"pool_threads\": ",
             "\"families_covered\": 1",
             "\"driver\"",

@@ -24,7 +24,7 @@
 //!             (Q_20…Q_23, Q^3_13, Q^4_11, S_10) — CSR-free adjacency,
 //!             streaming syndromes, sampled cross-check; a
 //!             materialisation guard asserts no Cached copy is built
-//!   --out     output path (default BENCH_4.json in the working directory)
+//!   --out     output path (default BENCH_5.json in the working directory)
 //! ```
 //!
 //! At startup the binary recalibrates `diagnose_auto`'s sequential cutover
@@ -38,13 +38,14 @@ use mmdiag_bench::{
 };
 
 /// The trajectory id this binary emits (`BENCH_<pr>`).
-const BENCH_ID: &str = "BENCH_4";
+const BENCH_ID: &str = "BENCH_5";
 
 fn main() {
-    // `--quick` and MMDIAG_QUICK=1 are the same knob: the env var is what
-    // the distsim `sim_vs_model` property suite honours, so one setting
+    // `--quick` and MMDIAG_QUICK=1 are the same knob (parsed once for the
+    // whole workspace by `mmdiag_exec::knobs`): the env var is what the
+    // distsim `sim_vs_model` property suite honours, so one setting
     // shrinks every harness in the workspace.
-    let mut quick = std::env::var("MMDIAG_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut quick = mmdiag_exec::knobs().quick;
     let mut large = false;
     let mut xlarge = false;
     let mut out_path = format!("{BENCH_ID}.json");

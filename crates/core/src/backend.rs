@@ -25,8 +25,9 @@
 //! how many parts beyond the winner get probed depends on scheduling —
 //! exactly as with the original scoped-thread `diagnose_parallel`.
 
-use crate::driver::{diagnose_seq_in_ws, finish, Diagnosis, DiagnosisError};
-use crate::set_builder::{set_builder_in_part, Workspace};
+use crate::driver::{Diagnosis, DiagnosisError};
+use crate::session::{self, BackendPolicy, SessionOptions};
+use crate::set_builder::Workspace;
 use mmdiag_exec::Pool;
 use mmdiag_syndrome::SyndromeSource;
 use mmdiag_topology::Partitionable;
@@ -54,15 +55,13 @@ static CUTOVER: AtomicUsize = AtomicUsize::new(0);
 /// The node count below which [`diagnose_auto`] currently stays
 /// sequential. Resolution order: an explicit [`set_sequential_cutover`]
 /// call (the bench's trajectory calibration), else `MMDIAG_CUTOVER` from
-/// the environment, else [`SEQUENTIAL_CUTOVER_NODES`]. The env var is read
-/// once, on first call.
+/// the environment (read once per process through
+/// [`mmdiag_exec::knobs`]), else [`SEQUENTIAL_CUTOVER_NODES`].
 pub fn sequential_cutover() -> usize {
     match CUTOVER.load(Ordering::Relaxed) {
         0 => {
-            let resolved = std::env::var("MMDIAG_CUTOVER")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0)
+            let resolved = mmdiag_exec::knobs()
+                .cutover
                 .unwrap_or(SEQUENTIAL_CUTOVER_NODES);
             // First resolver wins; a concurrent set_sequential_cutover that
             // landed in between is preserved.
@@ -79,12 +78,7 @@ pub fn sequential_cutover() -> usize {
 /// returned. Returns the cutover now in force.
 pub fn set_sequential_cutover(nodes: usize) -> usize {
     assert!(nodes > 0, "cutover must be positive");
-    if std::env::var("MMDIAG_CUTOVER")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .is_some()
-    {
+    if mmdiag_exec::knobs().cutover.is_some() {
         return sequential_cutover();
     }
     CUTOVER.store(nodes, Ordering::Relaxed);
@@ -164,7 +158,8 @@ impl WorkspacePool {
 /// Diagnose with the family's canonical decomposition and fault bound on
 /// the given backend. Checks §5's preconditions first; on every backend
 /// the returned certified part, fault set, healthy set and tree are
-/// identical to [`crate::driver::diagnose`]'s.
+/// identical to [`crate::driver::diagnose`]'s. A thin wrapper over the
+/// session run ([`crate::session::run_with`]).
 pub fn diagnose_with<T, S>(
     g: &T,
     s: &S,
@@ -174,15 +169,14 @@ where
     T: Partitionable + Sync + ?Sized,
     S: SyndromeSource + Sync + ?Sized,
 {
-    g.check_partition_preconditions()
-        .map_err(DiagnosisError::Preconditions)?;
-    match backend {
-        ExecutionBackend::Sequential => {
-            let mut ws = Workspace::new(g.node_count());
-            diagnose_seq_in_ws(g, s, g.driver_fault_bound(), &mut ws)
-        }
-        ExecutionBackend::Pooled(pool) => diagnose_pooled_width(g, s, pool, pool.threads()),
-    }
+    session::run_with(
+        g,
+        s,
+        BackendPolicy::from(backend),
+        &SessionOptions::default(),
+        None,
+    )
+    .map(|r| r.diagnosis)
 }
 
 /// Size-directed entry point: sequential below the live
@@ -202,6 +196,7 @@ where
 /// `threads` argument here). Guards degenerate decompositions — zero
 /// parts, or a custom `Partitionable` whose precondition hook was relaxed
 /// — with a proper error instead of the historical `clamp(1, 0)` panic.
+/// A thin wrapper over the pooled session run.
 pub(crate) fn diagnose_pooled_width<T, S>(
     g: &T,
     s: &S,
@@ -212,43 +207,7 @@ where
     T: Partitionable + Sync + ?Sized,
     S: SyndromeSource + Sync + ?Sized,
 {
-    let parts = g.part_count();
-    if parts == 0 {
-        return Err(DiagnosisError::Preconditions(format!(
-            "{}: decomposition has no parts, nothing to probe",
-            g.name()
-        )));
-    }
-    let bound = g.driver_fault_bound();
-    let width = width.clamp(1, parts);
-    let start_lookups = s.lookups();
-    let probes = AtomicUsize::new(0);
-    let ws_pool = WorkspacePool::new(g.node_count(), pool.threads());
-
-    let part = pool
-        .min_index_where(parts, width, |p| {
-            probes.fetch_add(1, Ordering::Relaxed);
-            ws_pool.with(pool.worker_index(), |ws| {
-                set_builder_in_part(g, s, g.representative(p), bound, ws).all_healthy
-            })
-        })
-        .ok_or(DiagnosisError::NoPartCertified)?;
-
-    // Sequential tail: unrestricted growth from the winning seed + sweep,
-    // on whatever workspace slot belongs to this (usually non-worker)
-    // thread.
-    ws_pool.with(pool.worker_index(), |ws| {
-        finish(
-            g,
-            s,
-            g.representative(part),
-            part,
-            probes.load(Ordering::Relaxed),
-            bound,
-            start_lookups,
-            ws,
-        )
-    })
+    session::run_pooled(g, s, pool, width, g.driver_fault_bound(), None).map(|r| r.diagnosis)
 }
 
 /// Evaluate many syndromes against one instance in a single submission.
@@ -269,30 +228,16 @@ where
     T: Partitionable + Sync + ?Sized,
     S: SyndromeSource + Sync,
 {
-    if let Err(e) = g.check_partition_preconditions() {
-        return syndromes
-            .iter()
-            .map(|_| Err(DiagnosisError::Preconditions(e.clone())))
-            .collect();
-    }
-    let bound = g.driver_fault_bound();
-    match backend {
-        ExecutionBackend::Sequential => {
-            let mut ws = Workspace::new(g.node_count());
-            syndromes
-                .iter()
-                .map(|s| diagnose_seq_in_ws(g, s, bound, &mut ws))
-                .collect()
-        }
-        ExecutionBackend::Pooled(pool) => {
-            let ws_pool = WorkspacePool::new(g.node_count(), pool.threads());
-            pool.map(syndromes, |_, s| {
-                ws_pool.with(pool.worker_index(), |ws| {
-                    diagnose_seq_in_ws(g, s, bound, ws)
-                })
-            })
-        }
-    }
+    session::run_batch(
+        g,
+        syndromes,
+        BackendPolicy::from(backend),
+        &SessionOptions::default(),
+        None,
+    )
+    .into_iter()
+    .map(|r| r.map(|report| report.diagnosis))
+    .collect()
 }
 
 #[cfg(test)]

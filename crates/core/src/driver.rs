@@ -11,11 +11,17 @@
 //! first certificate; we probe *all* parts in order if needed, which keeps
 //! the total work `O(Δ·N)` (each probe is `O(Δ·|part|)` over disjoint
 //! parts) and makes the driver robust to borderline part sizes.
+//!
+//! Since the session redesign (ISSUE 5) the canonical implementation lives
+//! in [`crate::session`]; [`diagnose`] and [`diagnose_unchecked`] are thin
+//! wrappers that run the sequential session and return its [`Diagnosis`]
+//! (bit-identical to the historical free functions — the session *is* the
+//! same scan, instrumented).
 
-use crate::set_builder::{set_builder, set_builder_in_part, SetBuilderOutcome, Workspace};
+use crate::session::{run_sequential, SessionOptions};
 use crate::tree::SpanningTree;
 use mmdiag_syndrome::SyndromeSource;
-use mmdiag_topology::{NodeId, Partitionable, Topology};
+use mmdiag_topology::{NodeId, Partitionable};
 
 /// A successful diagnosis.
 #[derive(Clone, Debug)]
@@ -36,7 +42,12 @@ pub struct Diagnosis {
 }
 
 /// Why diagnosis could not complete.
+///
+/// Marked `#[non_exhaustive]`: the session API grows failure modes (e.g.
+/// a session configured for a run mode a call cannot serve) without
+/// breaking downstream matches.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DiagnosisError {
     /// The decomposition does not satisfy §5's size requirements.
     Preconditions(String),
@@ -52,6 +63,10 @@ pub enum DiagnosisError {
         /// The fault bound the driver ran with.
         bound: usize,
     },
+    /// The session is not configured for what this call asked of it (e.g.
+    /// `Diagnoser::run` on a simulation-mode session, whose opaque
+    /// syndrome source cannot be replayed as timestamped messages).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for DiagnosisError {
@@ -68,6 +83,7 @@ impl std::fmt::Display for DiagnosisError {
                 f,
                 "{found} all-faulty neighbours exceed the fault bound {bound}"
             ),
+            DiagnosisError::Unsupported(msg) => write!(f, "unsupported session call: {msg}"),
         }
     }
 }
@@ -75,20 +91,20 @@ impl std::fmt::Display for DiagnosisError {
 impl std::error::Error for DiagnosisError {}
 
 /// Diagnose with the family's canonical decomposition and fault bound,
-/// checking §5's preconditions first.
+/// checking §5's preconditions first. A thin wrapper over the sequential
+/// session run ([`crate::session::run_sequential`]).
 pub fn diagnose<T, S>(g: &T, s: &S) -> Result<Diagnosis, DiagnosisError>
 where
     T: Partitionable + ?Sized,
     S: SyndromeSource + ?Sized,
 {
-    g.check_partition_preconditions()
-        .map_err(DiagnosisError::Preconditions)?;
-    diagnose_unchecked(g, s, g.driver_fault_bound())
+    run_sequential(g, s, &SessionOptions::default()).map(|r| r.diagnosis)
 }
 
 /// Diagnose with an explicit fault bound and no precondition check — used
 /// by the ablation benches and by callers who know their instance is
-/// borderline but workable.
+/// borderline but workable. A thin wrapper over the sequential session
+/// run with [`SessionOptions::check_preconditions`] off.
 pub fn diagnose_unchecked<T, S>(
     g: &T,
     s: &S,
@@ -98,87 +114,11 @@ where
     T: Partitionable + ?Sized,
     S: SyndromeSource + ?Sized,
 {
-    let mut ws = Workspace::new(g.node_count());
-    diagnose_seq_in_ws(g, s, fault_bound, &mut ws)
-}
-
-/// The sequential scan with a caller-provided [`Workspace`] — the reuse
-/// hook `diagnose_batch` needs so evaluating many syndromes against one
-/// instance allocates scratch space once, not once per syndrome.
-pub(crate) fn diagnose_seq_in_ws<T, S>(
-    g: &T,
-    s: &S,
-    fault_bound: usize,
-    ws: &mut Workspace,
-) -> Result<Diagnosis, DiagnosisError>
-where
-    T: Partitionable + ?Sized,
-    S: SyndromeSource + ?Sized,
-{
-    let start_lookups = s.lookups();
-    let mut probes = 0usize;
-    for part in 0..g.part_count() {
-        let u0 = g.representative(part);
-        probes += 1;
-        let probe = set_builder_in_part(g, s, u0, fault_bound, ws);
-        if probe.all_healthy {
-            return finish(g, s, u0, part, probes, fault_bound, start_lookups, ws);
-        }
-    }
-    Err(DiagnosisError::NoPartCertified)
-}
-
-/// After a certificate at `u0`: unrestricted growth + neighbourhood sweep.
-/// Shared by the sequential scan and every pooled backend strategy.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn finish<T, S>(
-    g: &T,
-    s: &S,
-    u0: NodeId,
-    part: usize,
-    probes: usize,
-    fault_bound: usize,
-    start_lookups: u64,
-    ws: &mut Workspace,
-) -> Result<Diagnosis, DiagnosisError>
-where
-    T: Topology + ?Sized,
-    S: SyndromeSource + ?Sized,
-{
-    let full: SetBuilderOutcome = set_builder(g, s, u0, fault_bound, ws);
-    // N(U_r): all-faulty by Theorem 1.
-    let n = g.node_count();
-    let mut in_set = vec![false; n];
-    for &m in &full.members {
-        in_set[m] = true;
-    }
-    let mut fault_flag = vec![false; n];
-    let mut faults = Vec::new();
-    let mut buf = Vec::new();
-    for &m in &full.members {
-        g.neighbors_into(m, &mut buf);
-        for &v in &buf {
-            if !in_set[v] && !fault_flag[v] {
-                fault_flag[v] = true;
-                faults.push(v);
-            }
-        }
-    }
-    faults.sort_unstable();
-    if faults.len() > fault_bound {
-        return Err(DiagnosisError::TooManyFaults {
-            found: faults.len(),
-            bound: fault_bound,
-        });
-    }
-    Ok(Diagnosis {
-        faults,
-        certified_part: part,
-        probes,
-        healthy_count: full.members.len(),
-        tree: full.tree,
-        lookups_used: s.lookups().saturating_sub(start_lookups),
-    })
+    let opts = SessionOptions {
+        fault_bound: Some(fault_bound),
+        check_preconditions: false,
+    };
+    run_sequential(g, s, &opts).map(|r| r.diagnosis)
 }
 
 #[cfg(test)]

@@ -4,12 +4,16 @@
 //! fault diagnosis problem under the comparison (MM) diagnosis model
 //! (Stewart, IPDPS 2010).
 //!
-//! * [`set_builder`] — the §4.1 `Set_Builder` procedure (unrestricted and
+//! * [`mod@set_builder`] — the §4.1 `Set_Builder` procedure (unrestricted and
 //!   part-restricted), with its spanning-tree artifact and contributor
 //!   accounting;
 //! * [`tree`] — the tree `T` described by the parent function `t`;
 //! * [`driver`] — the Theorem-1 driver: probe part representatives, certify
 //!   an all-healthy seed, grow `U_r`, output `N(U_r) = F`;
+//! * [`session`] — the canonical, phase-instrumented implementation every
+//!   entry point wraps: backend policies, per-phase telemetry, the §4.1
+//!   certificate artifact, batch submissions (the substrate of the
+//!   umbrella crate's `mmdiag::Diagnoser` front door);
 //! * [`backend`] — pluggable execution: the same driver run sequentially,
 //!   on the shared worker pool ([`diagnose_with`]), size-directed
 //!   ([`diagnose_auto`]), or over batches of syndromes
@@ -17,8 +21,12 @@
 //! * [`parallel`] — the concurrently-probed strategy, a thin wrapper over
 //!   the pooled backend.
 //!
+//! One session run returns the full [`session::DiagnosisReport`] — the
+//! classic [`Diagnosis`] plus the certificate and per-phase telemetry the
+//! legacy free functions discard:
+//!
 //! ```
-//! use mmdiag_core::driver::diagnose;
+//! use mmdiag_core::session::{run_with, BackendPolicy, SessionOptions};
 //! use mmdiag_syndrome::{FaultSet, OracleSyndrome, TesterBehavior};
 //! use mmdiag_topology::families::Hypercube;
 //!
@@ -27,13 +35,32 @@
 //! let faults = FaultSet::new(128, &[3, 64, 90]);
 //! let syndrome = OracleSyndrome::new(faults, TesterBehavior::Random { seed: 1 });
 //!
-//! let diagnosis = diagnose(&g, &syndrome).unwrap();
-//! assert_eq!(diagnosis.faults, vec![3, 64, 90]);
+//! let report = run_with(
+//!     &g,
+//!     &syndrome,
+//!     BackendPolicy::Sequential,
+//!     &SessionOptions::default(),
+//!     None,
+//! )
+//! .unwrap();
+//! assert_eq!(report.diagnosis.faults, vec![3, 64, 90]);
+//! // The certificate is the restricted probe tree that certified.
+//! assert_eq!(report.certificate.part, report.diagnosis.certified_part);
+//! // Phase lookup accounting splits the classic total exactly.
+//! assert_eq!(
+//!     report.telemetry.probe_lookups + report.telemetry.grow_lookups,
+//!     report.diagnosis.lookups_used,
+//! );
+//!
+//! // The legacy free function is a thin wrapper over the same session:
+//! let diagnosis = mmdiag_core::diagnose(&g, &syndrome).unwrap();
+//! assert_eq!(diagnosis.faults, report.diagnosis.faults);
 //! ```
 
 pub mod backend;
 pub mod driver;
 pub mod parallel;
+pub mod session;
 pub mod set_builder;
 pub mod tree;
 
@@ -43,6 +70,10 @@ pub use backend::{
 };
 pub use driver::{diagnose, diagnose_unchecked, Diagnosis, DiagnosisError};
 pub use parallel::diagnose_parallel;
+pub use session::{
+    BackendPolicy, Certificate, DiagnosisReport, PhaseTelemetry, SessionOptions,
+    VerificationVerdict,
+};
 pub use set_builder::{
     lookup_bound, set_builder, set_builder_filtered, set_builder_in_part, SetBuilderOutcome,
     Workspace,

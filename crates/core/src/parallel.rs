@@ -8,7 +8,7 @@
 //! every part below a lane's cursor is decided — is unchanged, but it now
 //! lives in [`mmdiag_exec::Pool::min_index_where`] and runs on the
 //! process-wide worker pool via
-//! [`crate::backend::diagnose_pooled_width`]. The `threads` argument
+//! the pooled session strategy (`mmdiag_core::session`). The `threads` argument
 //! survives as the *lane width* of the search; the OS threads underneath
 //! are the pool's and are spawned exactly once per process.
 //!

@@ -1,0 +1,754 @@
+//! The session layer: one canonical, phase-instrumented implementation of
+//! the Theorem-1 driver that every public entry point is a thin wrapper
+//! over.
+//!
+//! Four PRs of growth left the crate with a family of free functions
+//! (`diagnose`, `diagnose_unchecked`, `diagnose_with`, `diagnose_auto`,
+//! `diagnose_parallel`, `diagnose_batch`), each re-plumbing the same
+//! probe → certify → grow pipeline with its own workspace and backend
+//! handling. This module is the single implementation underneath all of
+//! them — and the substrate of the umbrella crate's `mmdiag::Diagnoser`
+//! front door:
+//!
+//! * [`BackendPolicy`] — how the probe search executes (sequential, a
+//!   given pool at full or explicit lane width, or size-directed auto
+//!   with an explicit or live cutover), resolving to a concrete backend
+//!   per instance;
+//! * [`run_with`] / [`run_batch`] — the policy-dispatched session runs;
+//! * [`DiagnosisReport`] — the [`Diagnosis`] plus what the free functions
+//!   historically threw away: the §4.1 [`Certificate`] (the restricted
+//!   probe tree that proved the seed part all-healthy), per-phase
+//!   [`PhaseTelemetry`] (probe/certify/grow wall times and lookup
+//!   counts), the resolved backend label, and a [`VerificationVerdict`]
+//!   slot the umbrella session fills from its verification policy.
+//!
+//! **Determinism contract** (inherited by every wrapper): the certified
+//! part is always the lowest certifying index, so faults, certificate,
+//! healthy set and spanning tree are bit-identical across backends; only
+//! the accounting (`probes`, `lookups_used`, telemetry) is
+//! scheduling-dependent under pooled execution. The phase instrumentation
+//! is a handful of monotonic-clock reads per diagnosis — it consults no
+//! extra syndrome entries, so lookup accounting is unchanged from the
+//! pre-session implementations.
+
+use crate::driver::{Diagnosis, DiagnosisError};
+use crate::set_builder::{set_builder, set_builder_in_part, SetBuilderOutcome, Workspace};
+use crate::tree::SpanningTree;
+use mmdiag_exec::Pool;
+use mmdiag_syndrome::SyndromeSource;
+use mmdiag_topology::{NodeId, Partitionable, Topology};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The §4.1 all-healthy certificate: the restricted probe tree grown at
+/// the certified part's representative, whose distinct internal
+/// contributors exceed the fault bound. The free-function API always
+/// discarded this artifact (only `Diagnosis::certified_part` survived);
+/// the session keeps it, because verification policies re-derive exactly
+/// this tree and the scenario layer wants to inspect it.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// The certified part (equals `Diagnosis::certified_part`).
+    pub part: usize,
+    /// The part's representative — the probe seed and tree root.
+    pub representative: NodeId,
+    /// Distinct internal contributors of the probe tree (> fault bound).
+    pub contributors: usize,
+    /// Levels the restricted growth built.
+    pub rounds: usize,
+    /// The restricted probe tree itself.
+    pub tree: SpanningTree,
+}
+
+impl Certificate {
+    /// Takes the probe outcome by value so the restricted tree is moved,
+    /// not cloned — certificate assembly costs no per-node work.
+    fn from_probe(part: usize, representative: NodeId, probe: SetBuilderOutcome) -> Self {
+        Certificate {
+            part,
+            representative,
+            contributors: probe.contributors,
+            rounds: probe.rounds,
+            tree: probe.tree,
+        }
+    }
+}
+
+/// Wall time and lookup accounting per driver phase. Timings are
+/// monotonic-clock nanoseconds around the phase; lookups are deltas of
+/// the source's counter, so under pooled execution they attribute shared
+/// atomic increments to the phase in which they landed (the same caveat
+/// as `Diagnosis::lookups_used`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTelemetry {
+    /// Restricted probe search (all parts probed until the certificate).
+    pub probe_nanos: u128,
+    /// Certificate selection + artifact assembly (cloning the winning
+    /// restricted tree out of the probe outcome).
+    pub certify_nanos: u128,
+    /// Unrestricted growth from the certified seed + the `N(U_r)` sweep.
+    pub grow_nanos: u128,
+    /// Syndrome entries consulted by the probe phase.
+    pub probe_lookups: u64,
+    /// Syndrome entries consulted by the growth phase (the sweep reads
+    /// adjacency only).
+    pub grow_lookups: u64,
+}
+
+impl PhaseTelemetry {
+    /// Sum of the phase wall times — the session's own account of how
+    /// long the diagnosis took, excluding precondition checks and
+    /// verification.
+    pub fn total_nanos(&self) -> u128 {
+        self.probe_nanos + self.certify_nanos + self.grow_nanos
+    }
+}
+
+/// What a verification policy concluded about a finished diagnosis.
+///
+/// The data shape lives here in `mmdiag-core` so [`DiagnosisReport`] can
+/// carry it, but core never *runs* a verification — the umbrella crate's
+/// `Diagnoser` fills this from `mmdiag-baselines` (the sampled
+/// spot-checker or the full-table baseline) per its configured policy.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum VerificationVerdict {
+    /// No verification was requested (`VerificationPolicy::None`).
+    Unverified,
+    /// The seeded sampled spot-check ran: certificate re-derived from the
+    /// live syndrome, per-part samples re-checked against the claimed
+    /// labelling (one-sided error — see `mmdiag_baselines::sampled_check`).
+    Sampled {
+        /// Nodes sampled across all parts.
+        samples: usize,
+        /// Syndrome entries the label re-checks consulted.
+        checked_tests: u64,
+        /// Sampled nodes whose neighbourhood contradicted the diagnosis.
+        disagreements: usize,
+        /// Did the re-derived probe tree certify at the claimed part?
+        certificate_ok: bool,
+        /// Certificate ok, no disagreements, fault bound respected.
+        agree: bool,
+        /// Wall time of the check.
+        nanos: u128,
+    },
+    /// The full-table baseline re-diagnosed the instance independently.
+    FullBaseline {
+        /// Syndrome entries the baseline consulted (the whole table).
+        lookups: u64,
+        /// Baseline fault set equals the session's.
+        agree: bool,
+        /// Wall time of the baseline run.
+        nanos: u128,
+    },
+    /// The verification itself could not run (e.g. the baseline erred on
+    /// a borderline instance) — distinct from a refutation, so callers
+    /// can tell "could not check" from "checked and disagreed".
+    Failed {
+        /// Which policy failed (`"sampled"` / `"full_baseline"`).
+        method: &'static str,
+        /// The underlying error, rendered.
+        error: String,
+    },
+}
+
+impl VerificationVerdict {
+    /// `false` when a verification ran and disagreed, or could not run.
+    pub fn agreed_or_unverified(&self) -> bool {
+        match self {
+            VerificationVerdict::Unverified => true,
+            VerificationVerdict::Sampled { agree, .. } => *agree,
+            VerificationVerdict::FullBaseline { agree, .. } => *agree,
+            VerificationVerdict::Failed { .. } => false,
+        }
+    }
+}
+
+/// Everything one session run produced: the classic [`Diagnosis`], the
+/// certificate the free functions used to discard, per-phase telemetry,
+/// the resolved backend, and the verification verdict (filled by the
+/// umbrella `Diagnoser`; [`VerificationVerdict::Unverified`] at this
+/// layer).
+#[derive(Clone, Debug)]
+pub struct DiagnosisReport {
+    /// The diagnosis — identical to what the legacy entry points return.
+    pub diagnosis: Diagnosis,
+    /// The §4.1 certificate at the certified part.
+    pub certificate: Certificate,
+    /// Per-phase wall times and lookup counts.
+    pub telemetry: PhaseTelemetry,
+    /// `"sequential"` or `"pooled"` — the backend the policy resolved to.
+    pub backend: &'static str,
+    /// The verification policy's conclusion.
+    pub verification: VerificationVerdict,
+}
+
+/// How a session run should execute — the policy form of
+/// [`crate::ExecutionBackend`], extended with the strided lane width the
+/// legacy `diagnose_parallel` exposes and the auto rule as a first-class
+/// variant.
+#[derive(Clone, Copy)]
+pub enum BackendPolicy<'p> {
+    /// In-order scan on the calling thread.
+    Sequential,
+    /// Probe search on the given pool at full width.
+    Pooled(&'p Pool),
+    /// Probe search on the given pool with an explicit lane width (the
+    /// legacy `diagnose_parallel` `threads` argument).
+    PooledWidth(&'p Pool, usize),
+    /// Sequential below the live [`crate::sequential_cutover`], else the
+    /// process-wide global pool.
+    Auto,
+    /// [`BackendPolicy::Auto`] with an explicit cutover instead of the
+    /// live one.
+    AutoWithCutover(usize),
+}
+
+/// A [`BackendPolicy`] resolved against a concrete instance size.
+enum ResolvedBackend<'p> {
+    Sequential,
+    Pooled { pool: &'p Pool, width: usize },
+}
+
+impl<'p> BackendPolicy<'p> {
+    fn resolve(&self, nodes: usize) -> ResolvedBackend<'p> {
+        match *self {
+            BackendPolicy::Sequential => ResolvedBackend::Sequential,
+            BackendPolicy::Pooled(pool) => ResolvedBackend::Pooled {
+                pool,
+                width: pool.threads(),
+            },
+            BackendPolicy::PooledWidth(pool, width) => ResolvedBackend::Pooled { pool, width },
+            // Both auto variants delegate to the one implementation of the
+            // cutover rule (`ExecutionBackend::auto_with_cutover`), so the
+            // policy and legacy entry points cannot diverge.
+            BackendPolicy::Auto => {
+                Self::from_execution(crate::ExecutionBackend::auto(nodes)).resolve(nodes)
+            }
+            BackendPolicy::AutoWithCutover(cutover) => {
+                Self::from_execution(crate::ExecutionBackend::auto_with_cutover(nodes, cutover))
+                    .resolve(nodes)
+            }
+        }
+    }
+
+    fn from_execution(backend: crate::ExecutionBackend<'p>) -> BackendPolicy<'p> {
+        match backend {
+            crate::ExecutionBackend::Sequential => BackendPolicy::Sequential,
+            crate::ExecutionBackend::Pooled(pool) => BackendPolicy::Pooled(pool),
+        }
+    }
+
+    /// The backend label (`"sequential"` / `"pooled"`) this policy
+    /// resolves to for an instance of `nodes` nodes.
+    pub fn label_for(&self, nodes: usize) -> &'static str {
+        match self.resolve(nodes) {
+            ResolvedBackend::Sequential => "sequential",
+            ResolvedBackend::Pooled { .. } => "pooled",
+        }
+    }
+}
+
+impl<'p> From<&crate::ExecutionBackend<'p>> for BackendPolicy<'p> {
+    fn from(b: &crate::ExecutionBackend<'p>) -> Self {
+        match b {
+            crate::ExecutionBackend::Sequential => BackendPolicy::Sequential,
+            crate::ExecutionBackend::Pooled(pool) => BackendPolicy::Pooled(pool),
+        }
+    }
+}
+
+/// Non-backend session knobs.
+#[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
+pub struct SessionOptions {
+    /// Explicit fault bound; `None` means the family's
+    /// [`Partitionable::driver_fault_bound`].
+    pub fault_bound: Option<usize>,
+    /// Run §5's decomposition precondition check first (the legacy
+    /// `*_unchecked` entry points disable this).
+    pub check_preconditions: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            fault_bound: None,
+            check_preconditions: true,
+        }
+    }
+}
+
+/// After a certificate at `u0`: unrestricted growth + neighbourhood
+/// sweep. Shared by the sequential scan and every pooled strategy — this
+/// is the session's (and historically the driver's) `finish` step.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grow_and_sweep<T, S>(
+    g: &T,
+    s: &S,
+    u0: NodeId,
+    part: usize,
+    probes: usize,
+    fault_bound: usize,
+    start_lookups: u64,
+    ws: &mut Workspace,
+) -> Result<Diagnosis, DiagnosisError>
+where
+    T: Topology + ?Sized,
+    S: SyndromeSource + ?Sized,
+{
+    let full: SetBuilderOutcome = set_builder(g, s, u0, fault_bound, ws);
+    // N(U_r): all-faulty by Theorem 1.
+    let n = g.node_count();
+    let mut in_set = vec![false; n];
+    for &m in &full.members {
+        in_set[m] = true;
+    }
+    let mut fault_flag = vec![false; n];
+    let mut faults = Vec::new();
+    let mut buf = Vec::new();
+    for &m in &full.members {
+        g.neighbors_into(m, &mut buf);
+        for &v in &buf {
+            if !in_set[v] && !fault_flag[v] {
+                fault_flag[v] = true;
+                faults.push(v);
+            }
+        }
+    }
+    faults.sort_unstable();
+    if faults.len() > fault_bound {
+        return Err(DiagnosisError::TooManyFaults {
+            found: faults.len(),
+            bound: fault_bound,
+        });
+    }
+    Ok(Diagnosis {
+        faults,
+        certified_part: part,
+        probes,
+        healthy_count: full.members.len(),
+        tree: full.tree,
+        lookups_used: s.lookups().saturating_sub(start_lookups),
+    })
+}
+
+/// The sequential session run in a caller-provided workspace — the
+/// canonical in-order scan every sequential entry point
+/// (`diagnose`, `diagnose_unchecked`, the sequential arms of
+/// `diagnose_with`/`diagnose_auto`/`diagnose_batch`) wraps. Requires no
+/// `Sync` bounds, exactly like the historical driver.
+pub(crate) fn run_sequential_in_ws<T, S>(
+    g: &T,
+    s: &S,
+    fault_bound: usize,
+    ws: &mut Workspace,
+) -> Result<DiagnosisReport, DiagnosisError>
+where
+    T: Partitionable + ?Sized,
+    S: SyndromeSource + ?Sized,
+{
+    let start_lookups = s.lookups();
+    let t_probe = Instant::now();
+    let mut winner: Option<(usize, NodeId, SetBuilderOutcome)> = None;
+    let mut probes = 0usize;
+    for part in 0..g.part_count() {
+        let u0 = g.representative(part);
+        probes += 1;
+        let probe = set_builder_in_part(g, s, u0, fault_bound, ws);
+        if probe.all_healthy {
+            winner = Some((part, u0, probe));
+            break;
+        }
+    }
+    let probe_nanos = t_probe.elapsed().as_nanos();
+    let probe_lookups = s.lookups().saturating_sub(start_lookups);
+    let (part, u0, probe) = winner.ok_or(DiagnosisError::NoPartCertified)?;
+
+    let t_certify = Instant::now();
+    let certificate = Certificate::from_probe(part, u0, probe);
+    let certify_nanos = t_certify.elapsed().as_nanos();
+
+    let t_grow = Instant::now();
+    let diagnosis = grow_and_sweep(g, s, u0, part, probes, fault_bound, start_lookups, ws)?;
+    let grow_nanos = t_grow.elapsed().as_nanos();
+    let grow_lookups = s
+        .lookups()
+        .saturating_sub(start_lookups)
+        .saturating_sub(probe_lookups);
+
+    Ok(DiagnosisReport {
+        diagnosis,
+        certificate,
+        telemetry: PhaseTelemetry {
+            probe_nanos,
+            certify_nanos,
+            grow_nanos,
+            probe_lookups,
+            grow_lookups,
+        },
+        backend: "sequential",
+        verification: VerificationVerdict::Unverified,
+    })
+}
+
+/// The sequential session run with a transient workspace.
+pub fn run_sequential<T, S>(
+    g: &T,
+    s: &S,
+    opts: &SessionOptions,
+) -> Result<DiagnosisReport, DiagnosisError>
+where
+    T: Partitionable + ?Sized,
+    S: SyndromeSource + ?Sized,
+{
+    if opts.check_preconditions {
+        g.check_partition_preconditions()
+            .map_err(DiagnosisError::Preconditions)?;
+    }
+    let bound = opts.fault_bound.unwrap_or_else(|| g.driver_fault_bound());
+    let mut ws = Workspace::new(g.node_count());
+    run_sequential_in_ws(g, s, bound, &mut ws)
+}
+
+/// The pooled session run: the probe search dispatched on `pool` as a
+/// deterministic lowest-index-wins reduction over `width` strided lanes,
+/// workspaces pooled per worker (the caller may pass a longer-lived
+/// [`crate::WorkspacePool`] so batches reuse scratch across calls). The
+/// winning restricted probe's outcome is captured en route, so the
+/// certificate costs no extra syndrome lookups.
+pub(crate) fn run_pooled<T, S>(
+    g: &T,
+    s: &S,
+    pool: &Pool,
+    width: usize,
+    fault_bound: usize,
+    ws_pool: Option<&crate::WorkspacePool>,
+) -> Result<DiagnosisReport, DiagnosisError>
+where
+    T: Partitionable + Sync + ?Sized,
+    S: SyndromeSource + Sync + ?Sized,
+{
+    let parts = g.part_count();
+    if parts == 0 {
+        return Err(DiagnosisError::Preconditions(format!(
+            "{}: decomposition has no parts, nothing to probe",
+            g.name()
+        )));
+    }
+    let width = width.clamp(1, parts);
+    let start_lookups = s.lookups();
+    let probes = AtomicUsize::new(0);
+    let owned_ws;
+    let ws_pool = match ws_pool {
+        Some(p) => p,
+        None => {
+            owned_ws = crate::WorkspacePool::new(g.node_count(), pool.threads());
+            &owned_ws
+        }
+    };
+
+    // The lowest certifying part's probe outcome, captured as the lanes
+    // run so the certificate needs no re-probe (which would perturb the
+    // lookup accounting).
+    let best: Mutex<Option<(usize, Certificate)>> = Mutex::new(None);
+
+    let t_probe = Instant::now();
+    let part = pool
+        .min_index_where(parts, width, |p| {
+            probes.fetch_add(1, Ordering::Relaxed);
+            ws_pool.with(pool.worker_index(), |ws| {
+                let probe = set_builder_in_part(g, s, g.representative(p), fault_bound, ws);
+                if probe.all_healthy {
+                    let mut slot = best.lock().unwrap();
+                    if slot.as_ref().is_none_or(|(held, _)| p < *held) {
+                        *slot = Some((p, Certificate::from_probe(p, g.representative(p), probe)));
+                    }
+                    true
+                } else {
+                    false
+                }
+            })
+        })
+        .ok_or(DiagnosisError::NoPartCertified)?;
+    let probe_nanos = t_probe.elapsed().as_nanos();
+    let probe_lookups = s.lookups().saturating_sub(start_lookups);
+
+    let t_certify = Instant::now();
+    let (held_part, certificate) = best
+        .into_inner()
+        .unwrap()
+        .expect("the reduction returned a certified part, so one was captured");
+    debug_assert_eq!(held_part, part, "captured certificate is the winner's");
+    let certify_nanos = t_certify.elapsed().as_nanos();
+
+    // Sequential tail: unrestricted growth from the winning seed + sweep,
+    // on whatever workspace slot belongs to this (usually non-worker)
+    // thread.
+    let t_grow = Instant::now();
+    let diagnosis = ws_pool.with(pool.worker_index(), |ws| {
+        grow_and_sweep(
+            g,
+            s,
+            g.representative(part),
+            part,
+            probes.load(Ordering::Relaxed),
+            fault_bound,
+            start_lookups,
+            ws,
+        )
+    })?;
+    let grow_nanos = t_grow.elapsed().as_nanos();
+    let grow_lookups = s
+        .lookups()
+        .saturating_sub(start_lookups)
+        .saturating_sub(probe_lookups);
+
+    Ok(DiagnosisReport {
+        diagnosis,
+        certificate,
+        telemetry: PhaseTelemetry {
+            probe_nanos,
+            certify_nanos,
+            grow_nanos,
+            probe_lookups,
+            grow_lookups,
+        },
+        backend: "pooled",
+        verification: VerificationVerdict::Unverified,
+    })
+}
+
+/// One policy-dispatched session run — the front door every wrapper and
+/// the umbrella `Diagnoser` call. Preconditions (unless disabled), bound
+/// resolution, backend resolution by instance size, then the canonical
+/// probe → certify → grow pipeline with phase telemetry.
+pub fn run_with<T, S>(
+    g: &T,
+    s: &S,
+    policy: BackendPolicy<'_>,
+    opts: &SessionOptions,
+    ws_pool: Option<&crate::WorkspacePool>,
+) -> Result<DiagnosisReport, DiagnosisError>
+where
+    T: Partitionable + Sync + ?Sized,
+    S: SyndromeSource + Sync + ?Sized,
+{
+    if opts.check_preconditions {
+        g.check_partition_preconditions()
+            .map_err(DiagnosisError::Preconditions)?;
+    }
+    let bound = opts.fault_bound.unwrap_or_else(|| g.driver_fault_bound());
+    match policy.resolve(g.node_count()) {
+        ResolvedBackend::Sequential => match ws_pool {
+            Some(wsp) => wsp.with(None, |ws| run_sequential_in_ws(g, s, bound, ws)),
+            None => {
+                let mut ws = Workspace::new(g.node_count());
+                run_sequential_in_ws(g, s, bound, &mut ws)
+            }
+        },
+        ResolvedBackend::Pooled { pool, width } => run_pooled(g, s, pool, width, bound, ws_pool),
+    }
+}
+
+/// Evaluate many syndromes against one instance in a single session
+/// submission — the canonical implementation under `diagnose_batch` and
+/// the umbrella `Diagnoser::submit_batch`.
+///
+/// Sequential resolution: one reused workspace slot, syndromes in order.
+/// Pooled resolution: syndromes fan out over the pool (each diagnosis
+/// runs its in-order scan inside one task), workspaces pooled per worker.
+/// Results come back **in input order** and are bit-identical across
+/// backends, accounting included, because each per-syndrome scan is the
+/// same sequential algorithm either way.
+pub fn run_batch<T, S>(
+    g: &T,
+    syndromes: &[S],
+    policy: BackendPolicy<'_>,
+    opts: &SessionOptions,
+    ws_pool: Option<&crate::WorkspacePool>,
+) -> Vec<Result<DiagnosisReport, DiagnosisError>>
+where
+    T: Partitionable + Sync + ?Sized,
+    S: SyndromeSource + Sync,
+{
+    if opts.check_preconditions {
+        if let Err(e) = g.check_partition_preconditions() {
+            return syndromes
+                .iter()
+                .map(|_| Err(DiagnosisError::Preconditions(e.clone())))
+                .collect();
+        }
+    }
+    let bound = opts.fault_bound.unwrap_or_else(|| g.driver_fault_bound());
+    match policy.resolve(g.node_count()) {
+        ResolvedBackend::Sequential => match ws_pool {
+            Some(wsp) => syndromes
+                .iter()
+                .map(|s| wsp.with(None, |ws| run_sequential_in_ws(g, s, bound, ws)))
+                .collect(),
+            None => {
+                let mut ws = Workspace::new(g.node_count());
+                syndromes
+                    .iter()
+                    .map(|s| run_sequential_in_ws(g, s, bound, &mut ws))
+                    .collect()
+            }
+        },
+        ResolvedBackend::Pooled { pool, .. } => {
+            let owned_ws;
+            let wsp = match ws_pool {
+                Some(p) => p,
+                None => {
+                    owned_ws = crate::WorkspacePool::new(g.node_count(), pool.threads());
+                    &owned_ws
+                }
+            };
+            pool.map(syndromes, |_, s| {
+                wsp.with(pool.worker_index(), |ws| {
+                    run_sequential_in_ws(g, s, bound, ws)
+                })
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::diagnose;
+    use mmdiag_syndrome::{FaultSet, OracleSyndrome, TesterBehavior};
+    use mmdiag_topology::families::Hypercube;
+
+    #[test]
+    fn sequential_report_carries_certificate_and_telemetry() {
+        let g = Hypercube::new(7);
+        let s = OracleSyndrome::new(
+            FaultSet::new(128, &[3, 64, 90]),
+            TesterBehavior::Random { seed: 1 },
+        );
+        let legacy = diagnose(&g, &s).unwrap();
+        s.reset_lookups();
+        let report = run_sequential(&g, &s, &SessionOptions::default()).unwrap();
+        // The diagnosis is bit-identical to the legacy entry point's.
+        assert_eq!(report.diagnosis.faults, legacy.faults);
+        assert_eq!(report.diagnosis.certified_part, legacy.certified_part);
+        assert_eq!(report.diagnosis.probes, legacy.probes);
+        assert_eq!(report.diagnosis.lookups_used, legacy.lookups_used);
+        assert_eq!(report.diagnosis.tree.edges(), legacy.tree.edges());
+        // The certificate is the restricted tree at the certified part.
+        assert_eq!(report.certificate.part, legacy.certified_part);
+        assert_eq!(
+            report.certificate.representative,
+            g.representative(legacy.certified_part)
+        );
+        assert!(report.certificate.contributors > g.driver_fault_bound());
+        report.certificate.tree.validate().unwrap();
+        assert_eq!(
+            report.certificate.tree.root(),
+            g.representative(legacy.certified_part)
+        );
+        // Telemetry: lookups split exactly, timings non-trivial.
+        assert_eq!(
+            report.telemetry.probe_lookups + report.telemetry.grow_lookups,
+            legacy.lookups_used
+        );
+        assert!(report.telemetry.probe_nanos > 0);
+        assert!(report.telemetry.grow_nanos > 0);
+        assert!(report.telemetry.total_nanos() >= report.telemetry.probe_nanos);
+        assert_eq!(report.backend, "sequential");
+        assert!(report.verification.agreed_or_unverified());
+    }
+
+    #[test]
+    fn pooled_report_matches_sequential_semantics_and_captures_certificate() {
+        let g = Hypercube::new(7);
+        let s = OracleSyndrome::new(FaultSet::new(128, &[5, 70, 101]), TesterBehavior::AllZero);
+        let seq = run_sequential(&g, &s, &SessionOptions::default()).unwrap();
+        let pool = Pool::new(4);
+        s.reset_lookups();
+        let par = run_pooled(&g, &s, &pool, 4, g.driver_fault_bound(), None).unwrap();
+        assert_eq!(par.diagnosis.faults, seq.diagnosis.faults);
+        assert_eq!(par.diagnosis.certified_part, seq.diagnosis.certified_part);
+        assert_eq!(par.diagnosis.tree.edges(), seq.diagnosis.tree.edges());
+        // The captured certificate equals the sequential one bit for bit:
+        // the restricted probe at a given part is deterministic.
+        assert_eq!(par.certificate.part, seq.certificate.part);
+        assert_eq!(
+            par.certificate.representative,
+            seq.certificate.representative
+        );
+        assert_eq!(par.certificate.contributors, seq.certificate.contributors);
+        assert_eq!(par.certificate.rounds, seq.certificate.rounds);
+        assert_eq!(par.certificate.tree.edges(), seq.certificate.tree.edges());
+        assert_eq!(par.backend, "pooled");
+    }
+
+    #[test]
+    fn policy_resolution_labels() {
+        let pool = Pool::new(2);
+        assert_eq!(BackendPolicy::Sequential.label_for(1 << 20), "sequential");
+        assert_eq!(BackendPolicy::Pooled(&pool).label_for(8), "pooled");
+        assert_eq!(BackendPolicy::PooledWidth(&pool, 3).label_for(8), "pooled");
+        assert_eq!(
+            BackendPolicy::AutoWithCutover(100).label_for(99),
+            "sequential"
+        );
+        assert_eq!(BackendPolicy::AutoWithCutover(100).label_for(100), "pooled");
+    }
+
+    #[test]
+    fn batch_reports_are_in_order_and_bit_identical_across_policies() {
+        let g = Hypercube::new(7);
+        let syndromes: Vec<OracleSyndrome> = (0..5)
+            .map(|i| {
+                OracleSyndrome::new(
+                    FaultSet::new(128, &[i, 50 + i]),
+                    TesterBehavior::Random { seed: i as u64 },
+                )
+            })
+            .collect();
+        let pool = Pool::new(4);
+        let opts = SessionOptions::default();
+        let seq = run_batch(&g, &syndromes, BackendPolicy::Sequential, &opts, None);
+        for s in &syndromes {
+            s.reset_lookups();
+        }
+        let par = run_batch(&g, &syndromes, BackendPolicy::Pooled(&pool), &opts, None);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.diagnosis.faults, b.diagnosis.faults);
+            assert_eq!(a.diagnosis.probes, b.diagnosis.probes);
+            assert_eq!(a.diagnosis.lookups_used, b.diagnosis.lookups_used);
+            assert_eq!(a.certificate.tree.edges(), b.certificate.tree.edges());
+            assert_eq!(
+                a.telemetry.probe_lookups + a.telemetry.grow_lookups,
+                a.diagnosis.lookups_used
+            );
+        }
+    }
+
+    #[test]
+    fn unchecked_options_skip_preconditions() {
+        use mmdiag_topology::families::NKStar;
+        let g = NKStar::new(5, 2); // fails the §5 size preconditions
+        let s = OracleSyndrome::new(FaultSet::empty(20), TesterBehavior::AllZero);
+        assert!(matches!(
+            run_sequential(&g, &s, &SessionOptions::default()),
+            Err(DiagnosisError::Preconditions(_))
+        ));
+        // With the check off the scan itself runs. The parts are too
+        // shallow to certify the nominal bound (that is *why* the
+        // precondition fails), but a zero bound certifies from the first
+        // internal node — exactly the borderline-instance use case
+        // `diagnose_unchecked` exists for.
+        let opts = SessionOptions {
+            fault_bound: Some(0),
+            check_preconditions: false,
+        };
+        let report = run_sequential(&g, &s, &opts).unwrap();
+        assert!(report.diagnosis.faults.is_empty());
+    }
+}

@@ -2,7 +2,7 @@
 //! messages.
 //!
 //! Virtual time is a bare [`Time`] counter; every in-flight message is an
-//! [`Envelope`] ordered by `(arrival time, insertion sequence)`, so two
+//! envelope ordered by `(arrival time, insertion sequence)`, so two
 //! messages scheduled for the same instant are delivered in the order they
 //! were sent — the whole simulation is a pure function of its inputs, with
 //! no dependence on hash iteration order or heap tie-breaking accidents.

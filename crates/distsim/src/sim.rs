@@ -155,8 +155,11 @@ impl SimReport {
 }
 
 /// Why the simulated protocol could not complete — mirrors
-/// `mmdiag_core::DiagnosisError` case for case.
+/// `mmdiag_core::DiagnosisError` case for case. `#[non_exhaustive]` like
+/// that type, so the session API can grow failure modes without breaking
+/// downstream matches.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The decomposition does not satisfy §5's size requirements.
     Preconditions(String),

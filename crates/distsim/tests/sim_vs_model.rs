@@ -45,9 +45,9 @@ fn families() -> Vec<Box<dyn Partitionable>> {
 }
 
 fn quick() -> bool {
-    // Same parse as mmdiag-bench's --quick/MMDIAG_QUICK handling: set and
-    // neither empty nor "0" means quick.
-    std::env::var("MMDIAG_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+    // The one MMDIAG_QUICK knob, parsed once for the whole workspace —
+    // same semantics as mmdiag-bench's --quick handling.
+    mmdiag_exec::knobs().quick
 }
 
 /// The tentpole property: simulator == cost model == centralised driver.

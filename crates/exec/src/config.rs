@@ -1,0 +1,163 @@
+//! Parsed-once environment knobs for the whole workspace.
+//!
+//! Four PRs of growth left `MMDIAG_*` handling scattered: the pool size
+//! was parsed in this crate, the auto-backend cutover in `mmdiag-core`
+//! (twice — resolution *and* override both re-read the variable), the
+//! quick-mode flag in the bench binary *and* the distsim property suite,
+//! and the spot-checker sample rate in the bench library. Each site had
+//! its own notion of what a malformed value means.
+//!
+//! This module is now the single reader: [`knobs`] parses the process
+//! environment exactly once (behind a `OnceLock`) into a plain [`Knobs`]
+//! struct, and every consumer asks that struct. The parse rules are pure
+//! functions of the raw strings ([`Knobs::parse`]), so malformed-value
+//! behaviour is unit-testable without touching the process environment:
+//!
+//! | Variable | Accepted | Malformed / unset |
+//! | --- | --- | --- |
+//! | `MMDIAG_POOL_THREADS` | integer, clamped to `1..=64` | ignored (`None`) |
+//! | `MMDIAG_CUTOVER` | positive integer | ignored (`None`) |
+//! | `MMDIAG_QUICK` | any non-empty value except `"0"` | `false` |
+//! | `MMDIAG_SAMPLES` | positive integer | ignored (`None`) |
+
+use std::sync::OnceLock;
+
+/// The workspace's environment knobs, parsed once per process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Knobs {
+    /// `MMDIAG_POOL_THREADS` — worker count for the process-wide pool,
+    /// clamped to `1..=64`. `None` when unset or unparsable.
+    pub pool_threads: Option<usize>,
+    /// `MMDIAG_CUTOVER` — node count below which the auto backend stays
+    /// sequential. `None` when unset, unparsable, or zero.
+    pub cutover: Option<usize>,
+    /// `MMDIAG_QUICK` — shrink every harness to its smoke subset. Set and
+    /// non-empty and not `"0"` means `true`.
+    pub quick: bool,
+    /// `MMDIAG_SAMPLES` — spot-checker samples per part. `None` when
+    /// unset, unparsable, or zero.
+    pub samples_per_part: Option<usize>,
+}
+
+impl Knobs {
+    /// Parse raw variable values (as [`std::env::var`] would hand them
+    /// over: `None` = unset) into a [`Knobs`]. Pure — the unit tests feed
+    /// malformed strings here without mutating the process environment.
+    pub fn parse(
+        pool_threads: Option<&str>,
+        cutover: Option<&str>,
+        quick: Option<&str>,
+        samples: Option<&str>,
+    ) -> Self {
+        Knobs {
+            pool_threads: pool_threads
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .map(|n| n.clamp(1, 64)),
+            cutover: cutover
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0),
+            quick: quick.is_some_and(|v| !v.is_empty() && v != "0"),
+            samples_per_part: samples
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&k| k > 0),
+        }
+    }
+
+    /// Read the process environment (uncached — [`knobs`] is the cached
+    /// front door).
+    pub fn from_env() -> Self {
+        let get = |k: &str| std::env::var(k).ok();
+        Knobs::parse(
+            get("MMDIAG_POOL_THREADS").as_deref(),
+            get("MMDIAG_CUTOVER").as_deref(),
+            get("MMDIAG_QUICK").as_deref(),
+            get("MMDIAG_SAMPLES").as_deref(),
+        )
+    }
+}
+
+/// The process-wide knobs, parsed from the environment on first call and
+/// cached for the lifetime of the process. Every `MMDIAG_*` consumer in
+/// the workspace reads through here, so one `export` affects them all
+/// consistently — and none of them re-reads the environment afterwards.
+pub fn knobs() -> &'static Knobs {
+    static KNOBS: OnceLock<Knobs> = OnceLock::new();
+    KNOBS.get_or_init(Knobs::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_environment_yields_defaults() {
+        let k = Knobs::parse(None, None, None, None);
+        assert_eq!(k.pool_threads, None);
+        assert_eq!(k.cutover, None);
+        assert!(!k.quick);
+        assert_eq!(k.samples_per_part, None);
+    }
+
+    #[test]
+    fn well_formed_values_parse() {
+        let k = Knobs::parse(Some("6"), Some("2048"), Some("1"), Some("5"));
+        assert_eq!(k.pool_threads, Some(6));
+        assert_eq!(k.cutover, Some(2048));
+        assert!(k.quick);
+        assert_eq!(k.samples_per_part, Some(5));
+    }
+
+    #[test]
+    fn pool_threads_is_clamped_not_rejected() {
+        assert_eq!(
+            Knobs::parse(Some("0"), None, None, None).pool_threads,
+            Some(1)
+        );
+        assert_eq!(
+            Knobs::parse(Some("999"), None, None, None).pool_threads,
+            Some(64)
+        );
+        // Whitespace survives the historical `.trim()` behaviour.
+        assert_eq!(
+            Knobs::parse(Some(" 4 "), None, None, None).pool_threads,
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn malformed_integers_are_ignored() {
+        for bad in ["", "abc", "-3", "1.5", "0x10", "1e3", "१०"] {
+            let k = Knobs::parse(Some(bad), Some(bad), None, Some(bad));
+            assert_eq!(k.pool_threads, None, "pool_threads {bad:?}");
+            assert_eq!(k.cutover, None, "cutover {bad:?}");
+            assert_eq!(k.samples_per_part, None, "samples {bad:?}");
+        }
+    }
+
+    #[test]
+    fn zero_cutover_and_zero_samples_are_rejected() {
+        let k = Knobs::parse(None, Some("0"), None, Some("0"));
+        assert_eq!(k.cutover, None, "a zero cutover would disable sequential");
+        assert_eq!(k.samples_per_part, None);
+    }
+
+    #[test]
+    fn quick_flag_semantics_match_the_historical_parse() {
+        // The bench binary historically treated any non-empty value except
+        // "0" as on — including junk like "false".
+        assert!(Knobs::parse(None, None, Some("1"), None).quick);
+        assert!(Knobs::parse(None, None, Some("yes"), None).quick);
+        assert!(Knobs::parse(None, None, Some("false"), None).quick);
+        assert!(!Knobs::parse(None, None, Some("0"), None).quick);
+        assert!(!Knobs::parse(None, None, Some(""), None).quick);
+        assert!(!Knobs::parse(None, None, None, None).quick);
+    }
+
+    #[test]
+    fn from_env_agrees_with_knobs_cache() {
+        // Whatever the test environment holds, the cached view and a fresh
+        // read must agree (no knob is set in CI, so both are defaults).
+        assert_eq!(*knobs(), Knobs::from_env());
+    }
+}

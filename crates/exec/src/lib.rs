@@ -29,24 +29,25 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 mod ops;
 mod pool;
 mod scope;
 
+pub use config::{knobs, Knobs};
 pub use pool::Pool;
 pub use scope::Scope;
 
 use std::sync::OnceLock;
 
 /// Worker count for the process-wide pool: `MMDIAG_POOL_THREADS` when set
-/// (clamped to 1..=64), else the machine's available parallelism capped at
-/// 8 — beyond that the probe phases of even the 10⁵⁺-node instances stop
-/// scaling and the deques only add steal traffic.
+/// (clamped to 1..=64, read once through [`config::knobs`]), else the
+/// machine's available parallelism capped at 8 — beyond that the probe
+/// phases of even the 10⁵⁺-node instances stop scaling and the deques only
+/// add steal traffic.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("MMDIAG_POOL_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.clamp(1, 64);
-        }
+    if let Some(n) = knobs().pool_threads {
+        return n;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())

@@ -1,4 +1,4 @@
-//! The comparison (MM) diagnosis model of Malek and Maeng [18, 19], as
+//! The comparison (MM) diagnosis model of Malek and Maeng \[18, 19\], as
 //! formalised in §2 of the paper.
 //!
 //! Every node `u` tests every pair `{v, w}` of its neighbours by sending

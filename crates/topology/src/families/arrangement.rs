@@ -1,9 +1,9 @@
-//! The arrangement graph `A_{n,k}` (Day & Tripathi [11]).
+//! The arrangement graph `A_{n,k}` (Day & Tripathi \[11\]).
 //!
 //! Nodes are the `n!/(n−k)!` k-permutations of `1..=n`; `u ∼ v` iff they
 //! differ in exactly one position (the differing symbol is replaced by one
 //! of the `n − k` unused symbols). `A_{n,k}` is `k(n−k)`-regular with
-//! connectivity `k(n−k)` [11] and diagnosability `k(n−k)` (via [6]).
+//! connectivity `k(n−k)` \[11\] and diagnosability `k(n−k)` (via \[6\]).
 //!
 //! §5.2's decomposition: fixing the k-th component partitions `A_{n,k}`
 //! into `n` induced copies of `A_{n−1,k−1}`. Because there are only `n`
@@ -27,7 +27,7 @@ pub struct Arrangement {
 impl Arrangement {
     /// Build `A_{n,k}` (`2 ≤ k ≤ n−1`, `n ≤ 12`). `A_{n,1}` is the
     /// complete graph and `A_{n,n−1} ≅ S_n`; both extremes are permitted
-    /// by [11] but `k = n` would be edgeless.
+    /// by \[11\] but `k = n` would be edgeless.
     pub fn new(n: usize, k: usize) -> Self {
         assert!(n <= 12, "arrangement graph supported for n ≤ 12");
         assert!(k >= 1 && k < n, "arrangement graph needs 1 ≤ k ≤ n−1");

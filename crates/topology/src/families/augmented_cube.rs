@@ -1,4 +1,4 @@
-//! The augmented cube `AQ_n` (Choudum & Sunitha [10]).
+//! The augmented cube `AQ_n` (Choudum & Sunitha \[10\]).
 //!
 //! `AQ_1 = K_2`; `AQ_n` consists of two copies `0·AQ_{n−1}` and
 //! `1·AQ_{n−1}` plus, for each `x`, the *hypercube* edge `(0,x) ∼ (1,x)`
@@ -11,7 +11,7 @@
 //!
 //! giving degree `2n − 1`. `AQ_n` is `(2n−1)`-regular with connectivity
 //! `2n − 1` (for `n ≥ 4`; `AQ_3` exceptionally has κ = 4) and, for
-//! `n ≥ 5`, diagnosability `2n − 1` (via [6]).
+//! `n ≥ 5`, diagnosability `2n − 1` (via \[6\]).
 //!
 //! Fixing the first bit splits `AQ_n` into two induced copies of
 //! `AQ_{n−1}`; iterated, this yields the prefix decomposition of

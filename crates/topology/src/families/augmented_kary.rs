@@ -1,11 +1,11 @@
-//! The augmented k-ary n-cube `AQ_{n,k}` (Xiang & Stewart [25]).
+//! The augmented k-ary n-cube `AQ_{n,k}` (Xiang & Stewart \[25\]).
 //!
 //! `Q^k_n` extended the way `AQ_n` extends `Q_n`: besides the `2n` torus
 //! edges, node `u` is adjacent to the `2(n−1)` nodes obtained by adding
 //! `+1` or `−1` (mod k) to *every* digit of a suffix `u_0..u_i` of length
 //! `≥ 2` (`1 ≤ i ≤ n−1`). Total degree `4n − 2`. `AQ_{n,k}` is
-//! `(4n−2)`-regular with connectivity `4n − 2` [25] and, for
-//! `(n,k) ≠ (2,3)`, diagnosability `4n − 2` (via [6]).
+//! `(4n−2)`-regular with connectivity `4n − 2` \[25\] and, for
+//! `(n,k) ≠ (2,3)`, diagnosability `4n − 2` (via \[6\]).
 //!
 //! It contains `Q^k_n` as a spanning subgraph, so §5.2 reuses the k-ary
 //! prefix decomposition: parts are the prefix classes, each containing a

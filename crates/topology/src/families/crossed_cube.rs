@@ -1,4 +1,4 @@
-//! The crossed cube `CQ_n` (Efe; topological properties in [12]).
+//! The crossed cube `CQ_n` (Efe; topological properties in \[12\]).
 //!
 //! Nodes are `n`-bit strings. Writing `u = u_{n−1}…u_0`, nodes `u` and `v`
 //! are adjacent iff there is a *dimension* `l` with
@@ -12,10 +12,10 @@
 //! The pair-related map is deterministic (`00↦00, 10↦10, 01↦11, 11↦01`, i.e.
 //! flip the high bit of the pair iff the low bit is set), so each dimension
 //! contributes exactly one neighbour and `CQ_n` is `n`-regular. `CQ_n` has
-//! connectivity `n` [16] and diagnosability `n` for `n ≥ 4` [14].
+//! connectivity `n` \[16\] and diagnosability `n` for `n ≥ 4` \[14\].
 //!
 //! Fixing the first (high) bit splits `CQ_n` into two induced copies of
-//! `CQ_{n−1}` [12]; iterating, fixing the first `n − m` bits yields
+//! `CQ_{n−1}` \[12\]; iterating, fixing the first `n − m` bits yields
 //! `2^{n−m}` copies of `CQ_m` — the decomposition used by Theorem 3.
 
 use crate::families::minimal_partition_dim;

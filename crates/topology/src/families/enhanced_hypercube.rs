@@ -1,10 +1,10 @@
-//! The enhanced hypercube `Q_{n,m}` (Tzeng & Wei [22]).
+//! The enhanced hypercube `Q_{n,m}` (Tzeng & Wei \[22\]).
 //!
 //! `Q_n` plus the *skip* matching: node `u` is additionally adjacent to the
 //! node obtained by flipping bits `n−1, n−2, …, m−1` (the top `n − m + 1`
 //! components), for a parameter `1 ≤ m ≤ n`. `Q_{n,1}` is the folded
 //! hypercube. `Q_{n,m}` is `(n+1)`-regular with connectivity `n + 1` and,
-//! for `n ≥ 4`, diagnosability `n + 1` (via [6]).
+//! for `n ≥ 4`, diagnosability `n + 1` (via \[6\]).
 //!
 //! As for `FQ_n`, the general algorithm partitions the spanning `Q_n` by
 //! prefixes; the skip edges flip bit `n−1` and therefore always cross

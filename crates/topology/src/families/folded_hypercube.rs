@@ -1,8 +1,8 @@
-//! The folded hypercube `FQ_n` [3].
+//! The folded hypercube `FQ_n` \[3\].
 //!
 //! `Q_n` plus the complement matching: every node `u` is additionally
 //! adjacent to `ū` (all `n` bits flipped). `FQ_n` is `(n+1)`-regular with
-//! connectivity `n + 1` and, for `n ≥ 4`, diagnosability `n + 1` (via [6]).
+//! connectivity `n + 1` and, for `n ≥ 4`, diagnosability `n + 1` (via \[6\]).
 //!
 //! For the general algorithm the paper uses the fact that `FQ_n` contains
 //! `Q_n` as a spanning subgraph: the prefix decomposition of that spanning

@@ -2,7 +2,7 @@
 //!
 //! Nodes are the `2ⁿ` bit-strings of length `n`; two nodes are adjacent iff
 //! they differ in exactly one bit. `Q_n` is `n`-regular with connectivity
-//! `n` and, for `n ≥ 5`, diagnosability `n` under the MM model (Wang [23]).
+//! `n` and, for `n ≥ 5`, diagnosability `n` under the MM model (Wang \[23\]).
 //!
 //! The paper's decomposition (§5.1): fixing the first `n − m` components
 //! partitions `Q_n` into `2^{n−m}` node-disjoint copies of `Q_m`, with

@@ -1,10 +1,10 @@
-//! The k-ary n-cube `Q^k_n` (torus; Lee-distance properties in [5]).
+//! The k-ary n-cube `Q^k_n` (torus; Lee-distance properties in \[5\]).
 //!
 //! Nodes are the `kⁿ` length-`n` strings of digits in `Z_k`; two nodes are
 //! adjacent iff they agree in all but one coordinate and differ by `±1
 //! (mod k)` there. For `k ≥ 3` the graph is `2n`-regular with connectivity
 //! `2n` and (outside six small exceptional pairs listed in §5.2)
-//! diagnosability `2n` (via [6]). `k = 2` degenerates to the hypercube and
+//! diagnosability `2n` (via \[6\]). `k = 2` degenerates to the hypercube and
 //! is rejected here.
 //!
 //! §5.2's decomposition: fixing the first `n − m` digits partitions

@@ -1,4 +1,4 @@
-//! The (n,k)-star graph `S_{n,k}` (Chiang & Chen [9]).
+//! The (n,k)-star graph `S_{n,k}` (Chiang & Chen \[9\]).
 //!
 //! Nodes are the `n!/(n−k)!` k-permutations `(p_1, …, p_k)` of `1..=n`
 //! (numbered by lexicographic rank). Two kinds of edges:
@@ -8,8 +8,8 @@
 //! * *1-edges*: replace `p_1` with any of the `n − k` symbols not present
 //!   in the permutation.
 //!
-//! Degree `n − 1`; connectivity `n − 1` [9]; diagnosability `n − 1` for
-//! `(n,k) ≠ (3,2)` (via [6]). `S_{n,n−1} ≅ S_n` and `S_{n,1} = K_n`.
+//! Degree `n − 1`; connectivity `n − 1` \[9\]; diagnosability `n − 1` for
+//! `(n,k) ≠ (3,2)` (via \[6\]). `S_{n,n−1} ≅ S_n` and `S_{n,1} = K_n`.
 //!
 //! §5.2's decomposition: fixing the k-th component partitions `S_{n,k}`
 //! into `n` induced copies of `S_{n−1,k−1}`. Note the paper's size remark

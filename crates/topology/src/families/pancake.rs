@@ -1,9 +1,9 @@
-//! The pancake graph `P_n` (Akers & Krishnamurthy [2]).
+//! The pancake graph `P_n` (Akers & Krishnamurthy \[2\]).
 //!
 //! Nodes are the `n!` permutations of `1..=n`; `u ∼ v` iff `v` is obtained
 //! from `u` by reversing a prefix of length `l ∈ {2, …, n}`. `P_n` is
-//! `(n−1)`-regular with connectivity `n − 1` [2] and, for `n ≥ 4`,
-//! diagnosability `n − 1` (via [6]).
+//! `(n−1)`-regular with connectivity `n − 1` \[2\] and, for `n ≥ 4`,
+//! diagnosability `n − 1` (via \[6\]).
 //!
 //! §5.2's decomposition: fixing the last symbol partitions `P_n` into `n`
 //! induced copies of `P_{n−1}` (prefix reversals of length `< n` never

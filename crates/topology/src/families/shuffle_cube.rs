@@ -1,4 +1,4 @@
-//! The shuffle-cube `SQ_n` (Li, Tan, Hsu & Sung [17]), defined for
+//! The shuffle-cube `SQ_n` (Li, Tan, Hsu & Sung \[17\]), defined for
 //! `n ≡ 2 (mod 4)`.
 //!
 //! `SQ_2 = Q_2`; `SQ_n` consists of 16 copies of `SQ_{n−4}` indexed by the

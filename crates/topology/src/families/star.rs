@@ -1,10 +1,10 @@
-//! The star graph `S_n` (Akers, Harel & Krishnamurthy [1]).
+//! The star graph `S_n` (Akers, Harel & Krishnamurthy \[1\]).
 //!
 //! Nodes are the `n!` permutations of `1..=n` (numbered by lexicographic
 //! rank); `u ∼ v` iff `v` is obtained from `u` by swapping the first symbol
 //! with the symbol in some position `i ∈ {2, …, n}`. `S_n` is
-//! `(n−1)`-regular with connectivity `n − 1` [2] and, for `n ≥ 4`,
-//! diagnosability `n − 1` (Zheng et al. [28]).
+//! `(n−1)`-regular with connectivity `n − 1` \[2\] and, for `n ≥ 4`,
+//! diagnosability `n − 1` (Zheng et al. \[28\]).
 //!
 //! §5.2's decomposition (via `S_n ≅ S_{n,n−1}`): fixing the *last* symbol
 //! partitions `S_n` into `n` induced copies of `S_{n−1}`.

@@ -1,6 +1,6 @@
 //! A twisted cube `TQ_n`.
 //!
-//! Hilbers, Koopman and van de Snepscheut's twisted cube [15] is defined for
+//! Hilbers, Koopman and van de Snepscheut's twisted cube \[15\] is defined for
 //! odd `n` only, while the paper's §5.1 uses a twisted cube that decomposes,
 //! for *every* `n ≥ 2`, into two induced copies of `TQ_{n−1}` obtained by
 //! fixing leading bits. We therefore implement the recursive
@@ -17,7 +17,7 @@
 //!
 //! This graph is `n`-regular, `n`-connected (machine-verified for small `n`
 //! by the Menger check below) and has the prefix decomposition required by
-//! Theorem 3. Diagnosability is `n` for `n ≥ 4` via Chang et al. [6]
+//! Theorem 3. Diagnosability is `n` for `n ≥ 4` via Chang et al. \[6\]
 //! (`n`-regular + `n`-connected + `≥ 2n+3` nodes).
 
 use crate::families::minimal_partition_dim;

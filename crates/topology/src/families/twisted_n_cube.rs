@@ -1,4 +1,4 @@
-//! The twisted N-cube `TQ′_n` (Esfahanian, Ni & Sagan [13]).
+//! The twisted N-cube `TQ′_n` (Esfahanian, Ni & Sagan \[13\]).
 //!
 //! `TQ′_n` is the hypercube `Q_n` with one pair of edges of a 4-cycle
 //! "twisted": in the base case `TQ′_3`, the 4-cycle on `{000, 001, 011,
@@ -8,8 +8,8 @@
 //! matching — exactly the decomposition §5.1 quotes: fixing the first
 //! component splits `TQ′_n` into a `Q_{n−1}` and a `TQ′_{n−1}`.
 //!
-//! `TQ′_n` is `n`-regular with connectivity `n` [13] and, for `n ≥ 4`,
-//! diagnosability `n` (via [6]).
+//! `TQ′_n` is `n`-regular with connectivity `n` \[13\] and, for `n ≥ 4`,
+//! diagnosability `n` (via \[6\]).
 //!
 //! The general-algorithm decomposition fixes the first `n − m` bits; every
 //! part induces `Q_m` except the all-ones prefix, which induces `TQ′_m` —

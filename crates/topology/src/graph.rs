@@ -58,7 +58,7 @@ pub trait Topology {
     }
 
     /// The diagnosability `δ` of the network under the MM model, as
-    /// established by the literature the paper cites ([6, 14, 23, 28] etc.).
+    /// established by the literature the paper cites (\[6, 14, 23, 28\] etc.).
     ///
     /// A syndrome produced by any fault set `F` with `|F| ≤ δ` determines
     /// `F` uniquely.

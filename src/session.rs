@@ -1,0 +1,818 @@
+//! One front door: the [`Diagnoser`] session API.
+//!
+//! Five generations of entry points grew around the Theorem-1 driver —
+//! `diagnose` / `diagnose_unchecked` / `diagnose_parallel` /
+//! `diagnose_with` / `diagnose_auto` / `diagnose_batch`, plus disjoint
+//! doors for verification (`diagnose_baseline`, `sampled_check`) and
+//! event-level simulation (`mmdiag_distsim::simulate`). Each had its own
+//! topology, backend and workspace plumbing. A [`Diagnoser`] owns all of
+//! it behind one builder:
+//!
+//! * **topology** — borrowed, materialised ([`mmdiag_topology::Cached`])
+//!   or CSR-free ([`mmdiag_implicit::ImplicitTopology`]), behind the one
+//!   [`TopologySource`] abstraction;
+//! * **syndrome** — any live [`SyndromeSource`] (bitmap
+//!   [`OracleSyndrome`] or streaming
+//!   [`mmdiag_syndrome::OnDemandOracle`]) through [`Diagnoser::run`], or
+//!   planted fault sets through [`Diagnoser::run_planted`] /
+//!   [`Diagnoser::run_streaming`];
+//! * **execution backend** — a [`BackendPolicy`]: sequential, a pool at
+//!   full or explicit lane width, or size-directed auto with the live or
+//!   an explicit cutover;
+//! * **verification** — a [`VerificationPolicy`]: none, the seeded
+//!   sampled spot-check, or the full-table baseline — run as part of the
+//!   same call, its [`VerificationVerdict`] riding on the report;
+//! * **run mode** — [`RunMode::InProcess`] or
+//!   [`RunMode::Simulated`] event-level execution under a
+//!   [`LatencyModel`];
+//! * **batching** — [`Diagnoser::submit_batch`] unifies the historical
+//!   `diagnose_batch` / `simulate_batch` pair and reuses the session's
+//!   own workspace pool across submissions.
+//!
+//! Every legacy free function is a thin wrapper over the same session
+//! machinery ([`mmdiag_core::session`]), so
+//! `Diagnoser::new(&g).run(&s)` is bit-identical to `diagnose(&g, &s)` —
+//! the workspace equivalence suite asserts exactly that across all
+//! fourteen families and every backend.
+//!
+//! ```
+//! use mmdiag::Diagnoser;
+//! use mmdiag::syndrome::{FaultSet, OracleSyndrome, TesterBehavior};
+//! use mmdiag::topology::families::Hypercube;
+//!
+//! let g = Hypercube::new(7);
+//! let s = OracleSyndrome::new(
+//!     FaultSet::new(128, &[3, 64, 90]),
+//!     TesterBehavior::Random { seed: 1 },
+//! );
+//! let report = Diagnoser::new(&g).verify_full().run(&s).unwrap();
+//! assert_eq!(report.diagnosis.faults, vec![3, 64, 90]);
+//! assert!(report.verification.agreed_or_unverified());
+//! assert_eq!(report.certificate.part, report.diagnosis.certified_part);
+//! ```
+
+use mmdiag_baselines::{diagnose_naive, sampled_check};
+use mmdiag_core::session::{self, SessionOptions};
+use mmdiag_core::{
+    BackendPolicy, DiagnosisError, DiagnosisReport, VerificationVerdict, WorkspacePool,
+};
+use mmdiag_distsim::{simulate_unchecked, FaultTimeline, LatencyModel, SimError, SimReport};
+use mmdiag_implicit::ImplicitTopology;
+use mmdiag_syndrome::{FaultSet, OnDemandOracle, OracleSyndrome, SyndromeSource, TesterBehavior};
+use mmdiag_topology::{Cached, NodeId, Partitionable};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Where a session's topology comes from: a caller-borrowed instance, or
+/// an owned materialised / implicit representation. One abstraction in
+/// front of the `Cached`-CSR and generator-math paths, so every session
+/// call is representation-agnostic (the scale contract: implicit and
+/// cached diagnoses are bit-identical).
+pub enum TopologySource<'g> {
+    /// A borrowed instance (any `Partitionable + Sync`, trait object or
+    /// concrete family).
+    Borrowed(&'g (dyn Partitionable + Sync)),
+    /// An owned instance — built by [`TopologySource::cached`] /
+    /// [`TopologySource::implicit`], or any boxed custom topology.
+    Owned(Box<dyn Partitionable + Sync>),
+}
+
+impl<'g> TopologySource<'g> {
+    /// Materialise `fam` into a CSR ([`Cached`]) the session owns.
+    pub fn cached<T: Partitionable + ?Sized>(fam: &T) -> TopologySource<'static> {
+        TopologySource::Owned(Box::new(Cached::new(fam)))
+    }
+
+    /// Serve `fam` CSR-free from its generator math
+    /// ([`ImplicitTopology`]) — the 10⁶–10⁷-node scale path.
+    pub fn implicit<T: Partitionable + Sync + 'static>(fam: T) -> TopologySource<'static> {
+        TopologySource::Owned(Box::new(ImplicitTopology::new(fam)))
+    }
+
+    /// The topology view every session call runs against.
+    pub fn view(&self) -> &(dyn Partitionable + Sync) {
+        match self {
+            TopologySource::Borrowed(g) => *g,
+            TopologySource::Owned(g) => g.as_ref(),
+        }
+    }
+}
+
+/// How (and whether) a finished diagnosis is independently verified
+/// within the same session call.
+#[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
+pub enum VerificationPolicy {
+    /// No verification; the report carries
+    /// [`VerificationVerdict::Unverified`].
+    None,
+    /// The seeded sampled spot-check
+    /// ([`mmdiag_baselines::sampled_check`]): certificate re-derivation
+    /// plus per-part label samples. One-sided error, `O(parts·k·Δ²)`
+    /// lookups — the verification that scales to 10⁷ nodes.
+    Sampled {
+        /// Samples per part (the bench default is 2).
+        samples_per_part: usize,
+        /// Seed of the label-independent sampling walks.
+        seed: u64,
+    },
+    /// The full-table baseline re-diagnosis
+    /// ([`mmdiag_baselines::diagnose_naive`]): reads every syndrome
+    /// entry — the strongest check, infeasible beyond ~10⁵ nodes.
+    FullBaseline,
+}
+
+/// Whether a session executes in-process or as timestamped messages in
+/// the event-level simulator.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum RunMode {
+    /// The centralised driver on the configured execution backend.
+    InProcess,
+    /// The distributed protocol replayed event-by-event under the given
+    /// latency model ([`mmdiag_distsim::simulate`]). Requires planted
+    /// syndromes ([`Diagnoser::run_planted`], [`BatchJob::Planted`],
+    /// [`BatchJob::Timeline`]) — an opaque [`SyndromeSource`] cannot be
+    /// replayed as messages.
+    Simulated(LatencyModel),
+}
+
+/// What one unified session call produced, by run mode.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// In-process: the full [`DiagnosisReport`] (verification verdict
+    /// included).
+    InProcess(DiagnosisReport),
+    /// Simulated: the event-level [`SimReport`], plus the verification
+    /// verdict obtained by replaying the planted syndrome against the
+    /// simulated diagnosis.
+    Simulated {
+        /// The simulator's report (traces, virtual times, diagnosis).
+        report: SimReport,
+        /// The session verification policy's conclusion about the
+        /// simulated diagnosis.
+        verification: VerificationVerdict,
+    },
+}
+
+impl RunOutcome {
+    /// The diagnosed fault set, ascending — whichever mode produced it.
+    pub fn faults(&self) -> &[NodeId] {
+        match self {
+            RunOutcome::InProcess(r) => &r.diagnosis.faults,
+            RunOutcome::Simulated { report, .. } => &report.faults,
+        }
+    }
+
+    /// The certified part, whichever mode produced it.
+    pub fn certified_part(&self) -> usize {
+        match self {
+            RunOutcome::InProcess(r) => r.diagnosis.certified_part,
+            RunOutcome::Simulated { report, .. } => report.certified_part,
+        }
+    }
+
+    /// The in-process report, if this outcome is one.
+    pub fn report(&self) -> Option<&DiagnosisReport> {
+        match self {
+            RunOutcome::InProcess(r) => Some(r),
+            RunOutcome::Simulated { .. } => None,
+        }
+    }
+
+    /// The simulator report, if this outcome is one.
+    pub fn sim(&self) -> Option<&SimReport> {
+        match self {
+            RunOutcome::InProcess(_) => None,
+            RunOutcome::Simulated { report, .. } => Some(report),
+        }
+    }
+
+    /// The verification verdict, whichever mode produced it.
+    pub fn verification(&self) -> &VerificationVerdict {
+        match self {
+            RunOutcome::InProcess(r) => &r.verification,
+            RunOutcome::Simulated { verification, .. } => verification,
+        }
+    }
+}
+
+/// Why a unified session call failed — in-process and simulated failure
+/// modes under one type, so batch submissions mixing both have a single
+/// error channel.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The in-process driver failed.
+    Diagnosis(DiagnosisError),
+    /// The event-level simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Diagnosis(e) => write!(f, "diagnosis: {e}"),
+            RunError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Diagnosis(e) => Some(e),
+            RunError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<DiagnosisError> for RunError {
+    fn from(e: DiagnosisError) -> Self {
+        RunError::Diagnosis(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// One job of a [`Diagnoser::submit_batch`] submission.
+pub enum BatchJob<'a> {
+    /// A live syndrome source (in-process sessions only — an opaque
+    /// source cannot be replayed as messages).
+    Source(&'a (dyn SyndromeSource + Sync)),
+    /// A planted fault set under a tester behaviour — runs in either
+    /// mode (in-process via an [`OracleSyndrome`], simulated via a
+    /// static [`FaultTimeline`]).
+    Planted {
+        /// The planted fault set.
+        faults: FaultSet,
+        /// The faulty-tester behaviour.
+        behavior: TesterBehavior,
+    },
+    /// A full fault timeline (mid-protocol onsets included). Simulated
+    /// sessions replay it as-is; in-process sessions accept it only when
+    /// static (the centralised driver has no notion of time).
+    Timeline(FaultTimeline),
+}
+
+/// The builder-configured session: one front door over diagnosis,
+/// verification and simulation. See the [module docs](self) for the full
+/// policy axes; the default session (`Diagnoser::new(&g)`) is
+/// sequential, unverified, in-process — exactly the legacy
+/// `diagnose(&g, &s)`.
+pub struct Diagnoser<'g> {
+    topology: TopologySource<'g>,
+    backend: BackendPolicy<'g>,
+    verification: VerificationPolicy,
+    mode: RunMode,
+    fault_bound: Option<usize>,
+    check_preconditions: bool,
+    /// Lazily-built workspace pool shared by every call on this session —
+    /// the amortisation `diagnose_batch` used to rebuild per call.
+    ws: OnceLock<WorkspacePool>,
+}
+
+impl<'g> Diagnoser<'g> {
+    /// A session over a borrowed topology, with defaults equivalent to
+    /// the legacy `diagnose`: sequential backend, preconditions checked,
+    /// family fault bound, no verification, in-process.
+    pub fn new(g: &'g (dyn Partitionable + Sync)) -> Self {
+        Diagnoser::from_source(TopologySource::Borrowed(g))
+    }
+
+    /// A session over an owned [`TopologySource`].
+    pub fn from_source(topology: TopologySource<'g>) -> Self {
+        Diagnoser {
+            topology,
+            backend: BackendPolicy::Sequential,
+            verification: VerificationPolicy::None,
+            mode: RunMode::InProcess,
+            fault_bound: None,
+            check_preconditions: true,
+            ws: OnceLock::new(),
+        }
+    }
+
+    /// A session that materialises `fam` into an owned CSR.
+    pub fn cached<T: Partitionable + ?Sized>(fam: &T) -> Diagnoser<'static> {
+        Diagnoser::from_source(TopologySource::cached(fam))
+    }
+
+    /// A session serving `fam` CSR-free from its generator math.
+    pub fn implicit<T: Partitionable + Sync + 'static>(fam: T) -> Diagnoser<'static> {
+        Diagnoser::from_source(TopologySource::implicit(fam))
+    }
+
+    /// The topology every call on this session runs against.
+    pub fn topology(&self) -> &(dyn Partitionable + Sync) {
+        self.topology.view()
+    }
+
+    // --- backend policy -------------------------------------------------
+
+    /// Set the execution backend policy explicitly.
+    pub fn backend(mut self, policy: BackendPolicy<'g>) -> Self {
+        self.backend = policy;
+        self
+    }
+
+    /// Sequential in-order scan (the default).
+    pub fn sequential(self) -> Self {
+        self.backend(BackendPolicy::Sequential)
+    }
+
+    /// Probe search on the process-wide global pool at full width.
+    pub fn pooled(self) -> Self {
+        self.backend(BackendPolicy::Pooled(mmdiag_exec::global()))
+    }
+
+    /// Probe search on a caller-owned pool at full width.
+    pub fn pooled_on(self, pool: &'g mmdiag_exec::Pool) -> Self {
+        self.backend(BackendPolicy::Pooled(pool))
+    }
+
+    /// The legacy `diagnose_parallel` strategy: `width` strided probe
+    /// lanes on the global pool.
+    pub fn lanes(self, width: usize) -> Self {
+        self.backend(BackendPolicy::PooledWidth(mmdiag_exec::global(), width))
+    }
+
+    /// Size-directed: sequential below the live
+    /// [`mmdiag_core::sequential_cutover`], pooled above it.
+    pub fn auto(self) -> Self {
+        self.backend(BackendPolicy::Auto)
+    }
+
+    /// [`Diagnoser::auto`] with an explicit cutover.
+    pub fn auto_with_cutover(self, cutover: usize) -> Self {
+        self.backend(BackendPolicy::AutoWithCutover(cutover))
+    }
+
+    // --- verification policy --------------------------------------------
+
+    /// Set the verification policy explicitly.
+    pub fn verification(mut self, policy: VerificationPolicy) -> Self {
+        self.verification = policy;
+        self
+    }
+
+    /// Verify every diagnosis with the seeded sampled spot-check.
+    pub fn verify_sampled(self, samples_per_part: usize, seed: u64) -> Self {
+        self.verification(VerificationPolicy::Sampled {
+            samples_per_part,
+            seed,
+        })
+    }
+
+    /// Verify every diagnosis against the full-table baseline.
+    pub fn verify_full(self) -> Self {
+        self.verification(VerificationPolicy::FullBaseline)
+    }
+
+    // --- run mode -------------------------------------------------------
+
+    /// Set the run mode explicitly.
+    pub fn run_mode(mut self, mode: RunMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Execute as timestamped messages in the event-level simulator
+    /// under `latency`.
+    pub fn simulated(self, latency: LatencyModel) -> Self {
+        self.run_mode(RunMode::Simulated(latency))
+    }
+
+    // --- bound / preconditions ------------------------------------------
+
+    /// Override the family's canonical fault bound.
+    pub fn fault_bound(mut self, bound: usize) -> Self {
+        self.fault_bound = Some(bound);
+        self
+    }
+
+    /// The legacy `*_unchecked` semantics: explicit fault bound, §5
+    /// precondition check skipped.
+    pub fn unchecked_bound(mut self, bound: usize) -> Self {
+        self.fault_bound = Some(bound);
+        self.check_preconditions = false;
+        self
+    }
+
+    fn opts(&self) -> SessionOptions {
+        let mut opts = SessionOptions::default();
+        opts.fault_bound = self.fault_bound;
+        opts.check_preconditions = self.check_preconditions;
+        opts
+    }
+
+    fn bound(&self) -> usize {
+        self.fault_bound
+            .unwrap_or_else(|| self.topology.view().driver_fault_bound())
+    }
+
+    fn ws_pool(&self) -> &WorkspacePool {
+        self.ws.get_or_init(|| {
+            // Size by the configured pool; for Sequential/Auto sessions use
+            // the would-be global worker count *without* spawning the
+            // global pool — a purely sequential session must stay as
+            // thread-free as the legacy `diagnose` it replaces (slots are
+            // lazy, so oversizing costs nothing).
+            let workers = match self.backend {
+                BackendPolicy::Pooled(pool) | BackendPolicy::PooledWidth(pool, _) => pool.threads(),
+                _ => mmdiag_exec::default_threads(),
+            };
+            WorkspacePool::new(self.topology.view().node_count(), workers)
+        })
+    }
+
+    fn pool(&self) -> &mmdiag_exec::Pool {
+        match self.backend {
+            BackendPolicy::Pooled(pool) | BackendPolicy::PooledWidth(pool, _) => pool,
+            _ => mmdiag_exec::global(),
+        }
+    }
+
+    // --- running --------------------------------------------------------
+
+    /// Diagnose a live syndrome source in-process, honouring the
+    /// session's backend and verification policies. Bit-identical to the
+    /// legacy entry point the backend policy corresponds to.
+    ///
+    /// Errors with [`DiagnosisError::Unsupported`] on a
+    /// [`RunMode::Simulated`] session — an opaque source cannot be
+    /// replayed as messages; use [`Diagnoser::run_planted`] or
+    /// [`Diagnoser::simulate`] there.
+    pub fn run<S>(&self, s: &S) -> Result<DiagnosisReport, DiagnosisError>
+    where
+        S: SyndromeSource + Sync + ?Sized,
+    {
+        if let RunMode::Simulated(_) = self.mode {
+            return Err(DiagnosisError::Unsupported(
+                "simulated sessions replay planted syndromes; \
+                 use run_planted / simulate / submit_batch"
+                    .into(),
+            ));
+        }
+        let g = self.topology.view();
+        let mut report = session::run_with(g, s, self.backend, &self.opts(), Some(self.ws_pool()))?;
+        report.verification =
+            self.verify_claim(s, &report.diagnosis.faults, report.diagnosis.certified_part);
+        Ok(report)
+    }
+
+    /// Diagnose a planted fault set under a tester behaviour, honouring
+    /// the session's **run mode**: in-process sessions evaluate a bitmap
+    /// [`OracleSyndrome`], simulated sessions replay a static
+    /// [`FaultTimeline`] under the session's latency model. Verification
+    /// applies in both modes.
+    pub fn run_planted(
+        &self,
+        faults: &FaultSet,
+        behavior: TesterBehavior,
+    ) -> Result<RunOutcome, RunError> {
+        match &self.mode {
+            RunMode::InProcess => {
+                let s = OracleSyndrome::new(faults.clone(), behavior);
+                self.run(&s)
+                    .map(RunOutcome::InProcess)
+                    .map_err(RunError::from)
+            }
+            RunMode::Simulated(latency) => {
+                let timeline = FaultTimeline::static_faults(faults.clone(), behavior);
+                let report = self.sim_one(&timeline, latency)?;
+                let s = OracleSyndrome::new(faults.clone(), behavior);
+                let verification = self.verify_claim(&s, &report.faults, report.certified_part);
+                Ok(RunOutcome::Simulated {
+                    report,
+                    verification,
+                })
+            }
+        }
+    }
+
+    /// [`Diagnoser::run_planted`] for the `O(|F|)`-state streaming
+    /// oracle: in-process sessions stream outcomes from an
+    /// [`OnDemandOracle`] (no bitmap — the 10⁶–10⁷-node path), simulated
+    /// sessions fall back to the planted replay.
+    pub fn run_streaming(
+        &self,
+        members: &[NodeId],
+        behavior: TesterBehavior,
+    ) -> Result<RunOutcome, RunError> {
+        match &self.mode {
+            RunMode::InProcess => {
+                let s = OnDemandOracle::new(self.topology.view().node_count(), members, behavior);
+                self.run(&s)
+                    .map(RunOutcome::InProcess)
+                    .map_err(RunError::from)
+            }
+            RunMode::Simulated(_) => {
+                let faults = FaultSet::new(self.topology.view().node_count(), members);
+                self.run_planted(&faults, behavior)
+            }
+        }
+    }
+
+    /// Replay a fault timeline in the event-level simulator, regardless
+    /// of the session's run mode (an in-process session simulates under
+    /// unit latencies; a simulated session uses its configured model).
+    /// Honours the session's fault bound and precondition policy.
+    pub fn simulate(&self, timeline: &FaultTimeline) -> Result<SimReport, SimError> {
+        let latency = match &self.mode {
+            RunMode::Simulated(latency) => latency.clone(),
+            RunMode::InProcess => LatencyModel::Unit,
+        };
+        self.sim_one(timeline, &latency)
+    }
+
+    fn sim_one(
+        &self,
+        timeline: &FaultTimeline,
+        latency: &LatencyModel,
+    ) -> Result<SimReport, SimError> {
+        let g = self.topology.view();
+        if self.check_preconditions {
+            g.check_partition_preconditions()
+                .map_err(SimError::Preconditions)?;
+        }
+        simulate_unchecked(g, timeline, latency, self.bound())
+    }
+
+    /// Evaluate many jobs against this session's instance in one
+    /// submission — the unified replacement for the historical
+    /// `diagnose_batch` / `simulate_batch` pair. In-process sessions fan
+    /// the convertible jobs out through the session backend (reusing the
+    /// session's workspace pool, so `k` jobs allocate `O(workers)`
+    /// scratch); simulated sessions replay each job's timeline on the
+    /// session pool. The verification policy applies wherever a live
+    /// syndrome exists to check against: every in-process job, and
+    /// planted / **static**-timeline jobs under simulation. A timeline
+    /// with mid-protocol onsets has no single post-hoc syndrome (tests
+    /// were graded at their reply instants), so its outcome carries
+    /// [`VerificationVerdict::Unverified`]. Results come back in input
+    /// order.
+    pub fn submit_batch(&self, jobs: &[BatchJob<'_>]) -> Vec<Result<RunOutcome, RunError>> {
+        match &self.mode {
+            RunMode::InProcess => self.submit_batch_in_process(jobs),
+            RunMode::Simulated(latency) => {
+                let latency = latency.clone();
+                self.pool().map(jobs, |_, job| match job {
+                    BatchJob::Source(_) => Err(RunError::Diagnosis(DiagnosisError::Unsupported(
+                        "a live syndrome source cannot be replayed as messages".into(),
+                    ))),
+                    BatchJob::Planted { faults, behavior } => self
+                        .run_planted_simulated(faults, *behavior, &latency)
+                        .map_err(RunError::from),
+                    BatchJob::Timeline(timeline) if timeline.is_static() => self
+                        .run_planted_simulated(
+                            timeline.final_faults(),
+                            timeline.behavior(),
+                            &latency,
+                        )
+                        .map_err(RunError::from),
+                    BatchJob::Timeline(timeline) => match self.sim_one(timeline, &latency) {
+                        Ok(report) => Ok(RunOutcome::Simulated {
+                            report,
+                            // Mid-protocol onsets: no single replayable
+                            // syndrome exists to verify against.
+                            verification: VerificationVerdict::Unverified,
+                        }),
+                        Err(e) => Err(RunError::Sim(e)),
+                    },
+                })
+            }
+        }
+    }
+
+    fn run_planted_simulated(
+        &self,
+        faults: &FaultSet,
+        behavior: TesterBehavior,
+        latency: &LatencyModel,
+    ) -> Result<RunOutcome, SimError> {
+        let timeline = FaultTimeline::static_faults(faults.clone(), behavior);
+        let report = self.sim_one(&timeline, latency)?;
+        let s = OracleSyndrome::new(faults.clone(), behavior);
+        let verification = self.verify_claim(&s, &report.faults, report.certified_part);
+        Ok(RunOutcome::Simulated {
+            report,
+            verification,
+        })
+    }
+
+    fn submit_batch_in_process(&self, jobs: &[BatchJob<'_>]) -> Vec<Result<RunOutcome, RunError>> {
+        /// How one job enters the batch: borrowing the caller's source,
+        /// an index into the session-built oracles, or a per-job error.
+        enum Slot<'a> {
+            Live(&'a (dyn SyndromeSource + Sync)),
+            OwnedIdx(usize),
+            Unsupported,
+        }
+        // One classification pass: build the owned oracles (planted fault
+        // sets, static timelines) and remember how each job resolves.
+        let mut owned: Vec<OracleSyndrome> = Vec::new();
+        let plan: Vec<Slot> = jobs
+            .iter()
+            .map(|job| match job {
+                BatchJob::Source(s) => Slot::Live(*s),
+                BatchJob::Planted { faults, behavior } => {
+                    owned.push(OracleSyndrome::new(faults.clone(), *behavior));
+                    Slot::OwnedIdx(owned.len() - 1)
+                }
+                BatchJob::Timeline(timeline) if timeline.is_static() => {
+                    owned.push(OracleSyndrome::new(
+                        timeline.final_faults().clone(),
+                        timeline.behavior(),
+                    ));
+                    Slot::OwnedIdx(owned.len() - 1)
+                }
+                BatchJob::Timeline(_) => Slot::Unsupported,
+            })
+            .collect();
+        fn resolve<'x>(
+            slot: &Slot<'x>,
+            owned: &'x [OracleSyndrome],
+        ) -> Option<&'x (dyn SyndromeSource + Sync)> {
+            match *slot {
+                Slot::Live(s) => Some(s),
+                Slot::OwnedIdx(i) => Some(&owned[i]),
+                Slot::Unsupported => None,
+            }
+        }
+        let sources: Vec<&(dyn SyndromeSource + Sync)> =
+            plan.iter().filter_map(|s| resolve(s, &owned)).collect();
+
+        let reports = session::run_batch(
+            self.topology.view(),
+            &sources,
+            self.backend,
+            &self.opts(),
+            Some(self.ws_pool()),
+        );
+        let mut reports = reports.into_iter();
+        plan.iter()
+            .map(|slot| match resolve(slot, &owned) {
+                None => Err(RunError::Diagnosis(DiagnosisError::Unsupported(
+                    "a timeline with mid-protocol onsets needs a simulated session".into(),
+                ))),
+                Some(s) => {
+                    let mut report = reports
+                        .next()
+                        .expect("one session result per convertible job")?;
+                    report.verification = self.verify_claim(
+                        s,
+                        &report.diagnosis.faults,
+                        report.diagnosis.certified_part,
+                    );
+                    Ok(RunOutcome::InProcess(report))
+                }
+            })
+            .collect()
+    }
+
+    // --- verification ---------------------------------------------------
+
+    /// Run the session's verification policy against a claimed diagnosis
+    /// (fault set + certified part) over the live syndrome `s`. Called by
+    /// every run path; public so harnesses can verify without re-running
+    /// the diagnosis.
+    pub fn verify_claim<S>(
+        &self,
+        s: &S,
+        claimed_faults: &[NodeId],
+        certified_part: usize,
+    ) -> VerificationVerdict
+    where
+        S: SyndromeSource + ?Sized,
+    {
+        let g = self.topology.view();
+        match self.verification {
+            VerificationPolicy::None => VerificationVerdict::Unverified,
+            VerificationPolicy::Sampled {
+                samples_per_part,
+                seed,
+            } => {
+                let t0 = Instant::now();
+                let check = sampled_check(
+                    g,
+                    s,
+                    claimed_faults,
+                    certified_part,
+                    self.bound(),
+                    samples_per_part,
+                    seed,
+                );
+                VerificationVerdict::Sampled {
+                    samples: check.samples.len(),
+                    checked_tests: check.checked_tests,
+                    disagreements: check.disagreements.len(),
+                    certificate_ok: check.certificate_ok,
+                    agree: check.agree,
+                    nanos: t0.elapsed().as_nanos(),
+                }
+            }
+            VerificationPolicy::FullBaseline => {
+                let t0 = Instant::now();
+                match diagnose_naive(g, s, self.bound()) {
+                    Ok(base) => VerificationVerdict::FullBaseline {
+                        lookups: base.lookups_used,
+                        agree: base.faults == claimed_faults,
+                        nanos: t0.elapsed().as_nanos(),
+                    },
+                    // An erroring baseline is "could not check", not a
+                    // refutation — keep the two distinguishable.
+                    Err(e) => VerificationVerdict::Failed {
+                        method: "full_baseline",
+                        error: e.to_string(),
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdiag_core::diagnose;
+    use mmdiag_topology::families::Hypercube;
+
+    #[test]
+    fn builder_default_equals_legacy_diagnose() {
+        let g = Hypercube::new(7);
+        let s = OracleSyndrome::new(
+            FaultSet::new(128, &[3, 64, 90]),
+            TesterBehavior::Random { seed: 9 },
+        );
+        let legacy = diagnose(&g, &s).unwrap();
+        s.reset_lookups();
+        let report = Diagnoser::new(&g).run(&s).unwrap();
+        assert_eq!(report.diagnosis.faults, legacy.faults);
+        assert_eq!(report.diagnosis.certified_part, legacy.certified_part);
+        assert_eq!(report.diagnosis.probes, legacy.probes);
+        assert_eq!(report.diagnosis.lookups_used, legacy.lookups_used);
+        assert_eq!(report.diagnosis.tree.edges(), legacy.tree.edges());
+        assert!(matches!(
+            report.verification,
+            VerificationVerdict::Unverified
+        ));
+    }
+
+    #[test]
+    fn simulated_session_rejects_opaque_sources_and_replays_planted() {
+        let g = Hypercube::new(7);
+        let session = Diagnoser::new(&g).simulated(LatencyModel::Unit);
+        let s = OracleSyndrome::new(FaultSet::new(128, &[5]), TesterBehavior::AllZero);
+        assert!(matches!(
+            session.run(&s),
+            Err(DiagnosisError::Unsupported(_))
+        ));
+        let faults = FaultSet::new(128, &[5, 40, 99]);
+        let outcome = session
+            .run_planted(&faults, TesterBehavior::AllZero)
+            .unwrap();
+        assert_eq!(outcome.faults(), faults.members());
+        assert!(outcome.sim().is_some());
+        // The in-process session diagnoses the same set.
+        let in_proc = Diagnoser::new(&g)
+            .run_planted(&faults, TesterBehavior::AllZero)
+            .unwrap();
+        assert_eq!(in_proc.faults(), outcome.faults());
+        assert_eq!(in_proc.certified_part(), outcome.certified_part());
+    }
+
+    #[test]
+    fn submit_batch_mixes_job_kinds_in_order() {
+        let g = Hypercube::new(7);
+        let session = Diagnoser::new(&g).verify_sampled(2, 7);
+        let live = OracleSyndrome::new(FaultSet::new(128, &[11, 60]), TesterBehavior::AllZero);
+        let jobs = vec![
+            BatchJob::Source(&live),
+            BatchJob::Planted {
+                faults: FaultSet::new(128, &[3, 64, 90]),
+                behavior: TesterBehavior::Random { seed: 4 },
+            },
+            BatchJob::Timeline(FaultTimeline::static_faults(
+                FaultSet::new(128, &[99]),
+                TesterBehavior::AllZero,
+            )),
+        ];
+        let outcomes = session.submit_batch(&jobs);
+        assert_eq!(outcomes.len(), 3);
+        let expected: [&[usize]; 3] = [&[11, 60], &[3, 64, 90], &[99]];
+        for (outcome, want) in outcomes.iter().zip(expected) {
+            let outcome = outcome.as_ref().unwrap();
+            assert_eq!(outcome.faults(), want);
+            assert!(outcome.verification().agreed_or_unverified());
+            assert!(matches!(
+                outcome.verification(),
+                VerificationVerdict::Sampled { .. }
+            ));
+        }
+    }
+}

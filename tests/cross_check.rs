@@ -35,6 +35,7 @@ use mmdiag::topology::families::{
 };
 use mmdiag::topology::Cached;
 use mmdiag::topology::{Partitionable, Topology};
+use mmdiag::Diagnoser;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -390,11 +391,42 @@ fn driver_parallel_pooled_auto_baseline_and_simulator_agree_on_every_family() {
                     .unwrap_or_else(|e| panic!("{}: baseline: {e} ({b:?})", g.name()));
                 assert_eq!(base.faults, drv.faults, "{} baseline {b:?}", g.name());
 
-                // Fourth implementation: the event-level simulator. Static
+                // The one front door: a verified session run must agree
+                // with the driver bit for bit *and* carry an agreeing
+                // sampled verdict (legacy-vs-session equivalence in depth
+                // is tests/diagnoser_equivalence.rs's job).
+                let report = Diagnoser::new(g)
+                    .verify_sampled(2, trial)
+                    .run(&s)
+                    .unwrap_or_else(|e| panic!("{}: session: {e} ({b:?})", g.name()));
+                assert_eq!(
+                    report.diagnosis.faults,
+                    drv.faults,
+                    "{} session {b:?}",
+                    g.name()
+                );
+                assert_eq!(
+                    report.diagnosis.certified_part,
+                    drv.certified_part,
+                    "{} session part {b:?}",
+                    g.name()
+                );
+                assert!(
+                    report.verification.agreed_or_unverified(),
+                    "{} session verification {b:?}: {:?}",
+                    g.name(),
+                    report.verification
+                );
+
+                // Fourth implementation: the event-level simulator, driven
+                // through the session's simulation door (`simulate` is the
+                // thin legacy wrapper over the same engine). Static
                 // timeline + unit latencies must be bit-identical to the
                 // driver and reproduce the cost model's trace exactly.
                 let timeline = FaultTimeline::static_faults(faults.clone(), b);
-                let sim = simulate(g, &timeline, &LatencyModel::Unit)
+                let sim = Diagnoser::new(g)
+                    .simulated(LatencyModel::Unit)
+                    .simulate(&timeline)
                     .unwrap_or_else(|e| panic!("{}: simulator: {e} ({b:?})", g.name()));
                 assert_eq!(sim.faults, drv.faults, "{} simulator {b:?}", g.name());
                 assert_eq!(

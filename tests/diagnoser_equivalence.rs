@@ -1,0 +1,281 @@
+//! The ISSUE-5 equivalence suite: every legacy entry point is a thin
+//! wrapper over the session, and the [`Diagnoser`] front door is
+//! bit-identical to each of them.
+//!
+//! For every one of the fourteen §5 families, on fault loads at the bound
+//! and below it under two tester behaviours:
+//!
+//! * **Sequential** — `Diagnoser::new(&g).run(&s)` vs `diagnose` /
+//!   `diagnose_with(Sequential)`: *every* field must match — faults,
+//!   certified part, probes, healthy count, spanning tree, and the exact
+//!   lookup count (the scan orders are identical by construction).
+//! * **Pooled** — `.pooled()` vs `diagnose_with(Pooled(global))` and
+//!   `.lanes(w)` vs `diagnose_parallel(g, s, w)`: all semantic fields
+//!   (faults, certified part, healthy count, tree) must match; the
+//!   accounting is scheduling-dependent by design and is not compared.
+//! * **Auto** — `.auto()` vs `diagnose_auto`: semantic fields always;
+//!   full accounting when the instance resolves sequential (sub-cutover),
+//!   where the code path is literally the same scan.
+//! * **Unchecked** — `.unchecked_bound(b)` vs `diagnose_unchecked`.
+//! * **Batch** — `.submit_batch(Source jobs)` vs `diagnose_batch` on both
+//!   backends: in-order, accounting included (batched scans are in-order
+//!   on every backend).
+//!
+//! Plus the certificate contract: the report's certificate sits at the
+//! diagnosis's certified part, its restricted tree is rooted at that
+//! part's representative, validates, and certifies (> bound distinct
+//! contributors).
+
+use mmdiag::diagnosis::{
+    diagnose, diagnose_auto, diagnose_batch, diagnose_parallel, diagnose_unchecked, diagnose_with,
+    sequential_cutover, Diagnosis, DiagnosisReport, ExecutionBackend,
+};
+use mmdiag::syndrome::{FaultSet, OracleSyndrome, SyndromeSource, TesterBehavior};
+use mmdiag::topology::families::{
+    Arrangement, AugmentedCube, AugmentedKAryNCube, CrossedCube, EnhancedHypercube,
+    FoldedHypercube, Hypercube, KAryNCube, NKStar, Pancake, ShuffleCube, StarGraph, TwistedCube,
+    TwistedNCube,
+};
+use mmdiag::topology::Partitionable;
+use mmdiag::{BatchJob, Diagnoser};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn families() -> Vec<Box<dyn Partitionable + Sync>> {
+    vec![
+        Box::new(Hypercube::new(7)),
+        Box::new(CrossedCube::new(7)),
+        Box::new(TwistedCube::new(7)),
+        Box::new(TwistedNCube::new(7)),
+        Box::new(FoldedHypercube::new(8)),
+        Box::new(EnhancedHypercube::new(8, 3)),
+        Box::new(AugmentedCube::new(10)),
+        Box::new(ShuffleCube::new(10)),
+        Box::new(KAryNCube::new(3, 6)),
+        Box::new(AugmentedKAryNCube::new(4, 4)),
+        Box::new(StarGraph::new(6)),
+        Box::new(NKStar::new(6, 3)),
+        Box::new(Pancake::new(6)),
+        Box::new(Arrangement::new(6, 3)),
+    ]
+}
+
+/// Exact equality on every field, accounting included.
+fn assert_bit_identical(report: &DiagnosisReport, legacy: &Diagnosis, ctx: &str) {
+    let d = &report.diagnosis;
+    assert_eq!(d.faults, legacy.faults, "{ctx}: faults");
+    assert_eq!(d.certified_part, legacy.certified_part, "{ctx}: part");
+    assert_eq!(d.probes, legacy.probes, "{ctx}: probes");
+    assert_eq!(d.healthy_count, legacy.healthy_count, "{ctx}: healthy");
+    assert_eq!(d.tree.root(), legacy.tree.root(), "{ctx}: tree root");
+    assert_eq!(d.tree.edges(), legacy.tree.edges(), "{ctx}: tree edges");
+    assert_eq!(d.lookups_used, legacy.lookups_used, "{ctx}: lookups");
+    // And the telemetry's lookup split accounts for the exact total.
+    assert_eq!(
+        report.telemetry.probe_lookups + report.telemetry.grow_lookups,
+        legacy.lookups_used,
+        "{ctx}: phase lookup split"
+    );
+}
+
+/// The deterministic semantic contract (accounting excluded).
+fn assert_semantically_equal(report: &DiagnosisReport, legacy: &Diagnosis, ctx: &str) {
+    let d = &report.diagnosis;
+    assert_eq!(d.faults, legacy.faults, "{ctx}: faults");
+    assert_eq!(d.certified_part, legacy.certified_part, "{ctx}: part");
+    assert_eq!(d.healthy_count, legacy.healthy_count, "{ctx}: healthy");
+    assert_eq!(d.tree.edges(), legacy.tree.edges(), "{ctx}: tree edges");
+}
+
+/// The certificate rides the report and actually certifies.
+fn assert_certificate_sound(report: &DiagnosisReport, g: &(dyn Partitionable + Sync), ctx: &str) {
+    let cert = &report.certificate;
+    assert_eq!(
+        cert.part, report.diagnosis.certified_part,
+        "{ctx}: cert part"
+    );
+    assert_eq!(
+        cert.representative,
+        g.representative(cert.part),
+        "{ctx}: cert representative"
+    );
+    assert!(
+        cert.contributors > g.driver_fault_bound(),
+        "{ctx}: certificate must exceed the bound ({} <= {})",
+        cert.contributors,
+        g.driver_fault_bound()
+    );
+    assert_eq!(cert.tree.root(), cert.representative, "{ctx}: cert root");
+    cert.tree
+        .validate()
+        .unwrap_or_else(|e| panic!("{ctx}: certificate tree invalid: {e}"));
+    // The restricted tree never leaves the certified part.
+    assert!(
+        cert.tree
+            .edges()
+            .iter()
+            .all(|&(u, v)| g.part_of(u) == cert.part && g.part_of(v) == cert.part),
+        "{ctx}: certificate tree crosses the part boundary"
+    );
+}
+
+#[test]
+fn diagnoser_is_bit_identical_to_every_legacy_entry_point_on_all_families() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x0D1A_6005);
+    let pool = mmdiag::exec::global();
+    for g in families() {
+        let g = g.as_ref();
+        let n = g.node_count();
+        let bound = g.driver_fault_bound();
+        let session = Diagnoser::new(g);
+        let pooled_session = Diagnoser::new(g).pooled();
+        let auto_session = Diagnoser::new(g).auto();
+        for (trial, load) in [bound, bound / 2].into_iter().enumerate() {
+            let faults = FaultSet::random(n, load, &mut rng);
+            for behavior in [
+                TesterBehavior::AllZero,
+                TesterBehavior::Random { seed: trial as u64 },
+            ] {
+                let s = OracleSyndrome::new(faults.clone(), behavior);
+                let ctx = format!("{} {behavior:?} load {load}", g.name());
+
+                // --- Sequential: the default builder vs `diagnose`.
+                let legacy = diagnose(g, &s).unwrap();
+                s.reset_lookups();
+                let report = session.run(&s).unwrap();
+                assert_bit_identical(&report, &legacy, &format!("{ctx} [sequential]"));
+                assert_certificate_sound(&report, g, &ctx);
+                assert_eq!(report.backend, "sequential", "{ctx}");
+
+                // And vs the explicit sequential backend entry point.
+                s.reset_lookups();
+                let with_seq = diagnose_with(g, &s, &ExecutionBackend::Sequential).unwrap();
+                s.reset_lookups();
+                let report2 = session.run(&s).unwrap();
+                assert_bit_identical(&report2, &with_seq, &format!("{ctx} [with-seq]"));
+
+                // --- Unchecked wrapper.
+                s.reset_lookups();
+                let legacy_unchecked = diagnose_unchecked(g, &s, bound).unwrap();
+                s.reset_lookups();
+                let report = Diagnoser::new(g).unchecked_bound(bound).run(&s).unwrap();
+                assert_bit_identical(&report, &legacy_unchecked, &format!("{ctx} [unchecked]"));
+
+                // --- Pooled: semantic equality (accounting is
+                // scheduling-dependent on both sides by design).
+                let legacy_pooled = diagnose_with(g, &s, &ExecutionBackend::Pooled(pool)).unwrap();
+                let report = pooled_session.run(&s).unwrap();
+                assert_semantically_equal(&report, &legacy_pooled, &format!("{ctx} [pooled]"));
+                assert_certificate_sound(&report, g, &ctx);
+                assert_eq!(report.backend, "pooled", "{ctx}");
+
+                // --- Strided lanes vs diagnose_parallel.
+                for width in [1usize, 4] {
+                    let legacy_par = diagnose_parallel(g, &s, width).unwrap();
+                    let report = Diagnoser::new(g).lanes(width).run(&s).unwrap();
+                    assert_semantically_equal(
+                        &report,
+                        &legacy_par,
+                        &format!("{ctx} [lanes {width}]"),
+                    );
+                }
+
+                // --- Auto: bit-identical when it resolves sequential.
+                s.reset_lookups();
+                let legacy_auto = diagnose_auto(g, &s).unwrap();
+                s.reset_lookups();
+                let report = auto_session.run(&s).unwrap();
+                if n < sequential_cutover() {
+                    assert_bit_identical(&report, &legacy_auto, &format!("{ctx} [auto-seq]"));
+                    assert_eq!(report.backend, "sequential", "{ctx}");
+                } else {
+                    assert_semantically_equal(&report, &legacy_auto, &format!("{ctx} [auto]"));
+                    assert_eq!(report.backend, "pooled", "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_default_equals_diagnose_exactly() {
+    // The acceptance-criterion spelling: `Diagnoser::new(g).run(s)` ==
+    // `diagnose(g, s)` on a fresh instance, every field.
+    let g = Hypercube::new(8);
+    let s = OracleSyndrome::new(
+        FaultSet::new(256, &[17, 200, 255]),
+        TesterBehavior::Random { seed: 2 },
+    );
+    let legacy = diagnose(&g, &s).unwrap();
+    s.reset_lookups();
+    let report = Diagnoser::new(&g).run(&s).unwrap();
+    assert_bit_identical(&report, &legacy, "builder default");
+}
+
+#[test]
+fn submit_batch_matches_diagnose_batch_on_both_backends() {
+    let g = Hypercube::new(7);
+    let pool = mmdiag::exec::global();
+    let syndromes: Vec<OracleSyndrome> = (0..6)
+        .map(|i| {
+            OracleSyndrome::new(
+                FaultSet::new(128, &[i, 2 * i + 40]),
+                TesterBehavior::Random { seed: i as u64 },
+            )
+        })
+        .collect();
+    for backend in [ExecutionBackend::Sequential, ExecutionBackend::Pooled(pool)] {
+        for s in &syndromes {
+            s.reset_lookups();
+        }
+        let legacy = diagnose_batch(&g, &syndromes, &backend);
+        for s in &syndromes {
+            s.reset_lookups();
+        }
+        let session = match backend {
+            ExecutionBackend::Sequential => Diagnoser::new(&g),
+            ExecutionBackend::Pooled(_) => Diagnoser::new(&g).pooled(),
+        };
+        let jobs: Vec<BatchJob> = syndromes
+            .iter()
+            .map(|s| BatchJob::Source(s as &(dyn SyndromeSource + Sync)))
+            .collect();
+        let outcomes = session.submit_batch(&jobs);
+        assert_eq!(outcomes.len(), legacy.len());
+        for (i, (outcome, want)) in outcomes.iter().zip(&legacy).enumerate() {
+            let report = outcome.as_ref().unwrap().report().expect("in-process");
+            let want = want.as_ref().unwrap();
+            // Batched scans are in-order on every backend: the accounting
+            // must match too.
+            assert_bit_identical(
+                report,
+                want,
+                &format!("batch job {i} [{}]", backend.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn implicit_and_cached_sessions_agree_bit_for_bit() {
+    // The one-front-door spelling of the ISSUE-4 scale contract.
+    let fam = Hypercube::new(7);
+    let cached = Diagnoser::cached(&fam);
+    let implicit = Diagnoser::implicit(fam);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1_5EED);
+    let faults = FaultSet::random(128, 5, &mut rng);
+    let s = OracleSyndrome::new(faults.clone(), TesterBehavior::Random { seed: 3 });
+    let on_cached = cached.run(&s).unwrap();
+    s.reset_lookups();
+    let on_implicit = implicit.run(&s).unwrap();
+    assert_bit_identical(&on_implicit, &on_cached.diagnosis, "implicit vs cached");
+    assert_eq!(
+        on_implicit.certificate.tree.edges(),
+        on_cached.certificate.tree.edges()
+    );
+    // Streaming oracle through the same session.
+    let streamed = implicit
+        .run_streaming(faults.members(), TesterBehavior::Random { seed: 3 })
+        .unwrap();
+    assert_eq!(streamed.faults(), on_cached.diagnosis.faults.as_slice());
+}
