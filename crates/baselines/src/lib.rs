@@ -32,7 +32,7 @@
 //!
 //! [`mmdiag_core`]: ../mmdiag_core/index.html
 //! [`mmdiag_core::diagnose`]: ../mmdiag_core/driver/fn.diagnose.html
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod sampled;

@@ -58,7 +58,7 @@
 //! Criterion is not available in the offline build environment; the
 //! `benches/sweep.rs` target (`harness = false`) and the `mmdiag-bench`
 //! binary both drive the sweep below with plain wall-clock timing.
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use mmdiag::{BatchJob, Diagnoser, VerificationVerdict};
@@ -1107,6 +1107,20 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Schema version stamped into every trajectory document [`to_json`]
+/// writes. Bump it together with [`READER_ACCEPTED_SCHEMAS`]: the xtask
+/// linter's `bench-schema-agreement` pass fails the build whenever the
+/// writer emits a version the cutover reader would refuse, and when a
+/// drifting copy of the literal appears anywhere outside these two
+/// declarations.
+pub const SCHEMA_VERSION: &str = "mmdiag-bench/v2";
+
+/// Schema versions [`calibrate_cutover_in`] accepts. v2 is a strict
+/// superset of v1 (same line-oriented record layout plus extra keys), so
+/// one reader parses both; a document stamped with any *other* version is
+/// rejected rather than half-parsed.
+pub const READER_ACCEPTED_SCHEMAS: &[&str] = &["mmdiag-bench/v1", "mmdiag-bench/v2"];
+
 /// Render records as the `BENCH_<pr>.json` trajectory document
 /// (**`mmdiag-bench/v2`** schema — a strict superset of v1). Additions
 /// over v1: every record carries a `"phases"` object (the session's
@@ -1126,7 +1140,7 @@ pub fn to_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mmdiag-bench/v2\",\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA_VERSION}\",\n"));
     out.push_str(&format!("  \"bench_id\": \"{}\",\n", json_escape(bench_id)));
     out.push_str(&format!(
         "  \"exec\": {{\"pool_threads\": {}, \"sequential_cutover_nodes\": {}, \
@@ -1364,6 +1378,20 @@ pub fn calibrate_cutover_in(dir: &std::path::Path) -> Option<CutoverCalibration>
     }
     let (_, path) = best?;
     let text = std::fs::read_to_string(&path).ok()?;
+
+    // A document stamped with a schema this reader does not understand is
+    // rejected outright — half-parsing a future layout could calibrate
+    // the cutover from garbage. Unstamped files (pre-schema hand edits)
+    // still go through the lenient line-oriented parse below.
+    if let Some(pos) = text.find("\"schema\": \"") {
+        let stamp = text[pos + "\"schema\": \"".len()..]
+            .split('"')
+            .next()
+            .unwrap_or("");
+        if !READER_ACCEPTED_SCHEMAS.contains(&stamp) {
+            return None;
+        }
+    }
 
     // Per measured size: cell count and the floor estimate (min over
     // cells) of driver and pooled wall time.

@@ -31,6 +31,7 @@
 //! from the best `BENCH_*.json` already in the working directory
 //! (`MMDIAG_CUTOVER=<nodes>` pins it instead; no trajectory means the
 //! compiled-in 1024 stays).
+#![forbid(unsafe_code)]
 
 use mmdiag_bench::{
     calibrate_cutover, distsim_scenarios, full_catalog, large_catalog, small_catalog, sweep,

@@ -56,6 +56,7 @@
 //! let diagnosis = mmdiag_core::diagnose(&g, &syndrome).unwrap();
 //! assert_eq!(diagnosis.faults, report.diagnosis.faults);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod backend;
 pub mod driver;

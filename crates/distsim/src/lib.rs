@@ -36,7 +36,7 @@
 //! cell by the bench sweep and the workspace cross-check suite. Skewed
 //! latencies and mid-protocol onsets are the regimes only the simulator
 //! can express.
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;

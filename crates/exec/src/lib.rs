@@ -26,13 +26,41 @@
 //! front), a shared injector for external submissions, condvar parking.
 //! Nested scopes are supported — a worker blocked on an inner scope runs
 //! queued tasks while it waits, so even a 1-thread pool cannot deadlock.
+//!
+//! ## Correctness tooling
+//!
+//! All synchronization goes through the [`mod@sync`] facade: a normal
+//! build re-exports `std::sync` unchanged, while the `model` feature
+//! swaps in the deterministic bounded-interleaving scheduler of
+//! `model` so the park/steal/scope protocols can be explored offline
+//! (`cargo test -p mmdiag-exec --features model`). See
+//! `crates/exec/tests/model.rs` for the protocol suites.
+//!
+//! ## Unsafe audit inventory
+//!
+//! This is the **only** crate in the workspace allowed to contain
+//! `unsafe` (every other crate root carries `#![forbid(unsafe_code)]`,
+//! enforced by `cargo run -p xtask -- lint`). The crate compiles under
+//! `#![deny(unsafe_op_in_unsafe_fn)]`, every block carries a
+//! `// SAFETY:` comment (also lint-enforced), and the full inventory is:
+//!
+//! | Location | Operation | Invariant making it sound |
+//! |---|---|---|
+//! | `scope.rs`, [`Scope::spawn`] | `transmute` of `Box<dyn FnOnce + Send + 'env>` to `'static` (lifetime erasure only; layout/vtable unchanged) | scope-outlives-task: [`Pool::scope`] blocks until `pending == 0` before returning — even on panic — so every erased task finishes and is dropped before its `'env` borrows can dangle |
+//!
+//! Any addition to this table needs a `// SAFETY:` comment at the site, a
+//! row here, and model-test coverage of the protocol that justifies it.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod config;
+#[cfg(feature = "model")]
+pub mod model;
 mod ops;
 mod pool;
 mod scope;
+pub mod sync;
 
 pub use config::{knobs, Knobs};
 pub use pool::Pool;
@@ -64,7 +92,10 @@ pub fn global() -> &'static Pool {
     GLOBAL.get_or_init(|| Pool::new(default_threads()))
 }
 
-#[cfg(test)]
+// The std-mode unit suite: under the model feature these pools would run
+// on shim primitives with no scheduler driving them — the protocol tests
+// in `tests/model.rs` cover that configuration instead.
+#[cfg(all(test, not(feature = "model")))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};

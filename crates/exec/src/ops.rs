@@ -3,9 +3,9 @@
 //! the diagnosis driver needs.
 
 use crate::pool::Pool;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::Mutex;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 impl Pool {
     /// Chunk size that gives every worker a few chunks to steal without

@@ -15,11 +15,11 @@
 //! per-call thread spawning) over peak steal throughput, and a mutex held
 //! for a push/pop is uncontended in the common path.
 
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{Arc, Condvar, Mutex};
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 /// A unit of work, lifetime-erased by [`crate::scope::Scope::spawn`].
 pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -131,10 +131,10 @@ impl Pool {
         let handles = (0..threads)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("mmdiag-exec-{id}-{idx}"))
-                    .spawn(move || worker_loop(shared, id, idx))
-                    .expect("spawning pool worker")
+                crate::sync::thread::spawn_named(format!("mmdiag-exec-{id}-{idx}"), move || {
+                    worker_loop(shared, id, idx)
+                })
+                .expect("spawning pool worker")
             })
             .collect();
         Pool {
@@ -177,7 +177,7 @@ impl Pool {
         while !done() {
             match self.shared.find_task(worker) {
                 Some(t) => t(),
-                None => std::thread::yield_now(),
+                None => crate::sync::thread::yield_now(),
             }
         }
     }

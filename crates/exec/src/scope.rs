@@ -4,11 +4,11 @@
 //! panic is re-raised on the caller.
 
 use crate::pool::{Pool, Task};
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Condvar, Mutex};
 use std::any::Any;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 
 /// Shared completion state of one scope.
 struct ScopeState {
@@ -56,10 +56,12 @@ impl<'pool, 'env> Scope<'pool, 'env> {
             state.task_finished();
         });
         // SAFETY: lifetime erasure only — the vtable and layout of the
-        // boxed closure are unchanged. `Pool::scope` *always* blocks until
-        // `pending == 0` before returning (even when the scope body
-        // panics), so no erased task can outlive the `'env` borrows it
-        // captures. This is the same argument `std::thread::scope` makes.
+        // boxed closure are unchanged. Soundness rests on the
+        // scope-outlives-task invariant: `Pool::scope` *always* blocks
+        // until `pending == 0` before returning (even when the scope body
+        // panics), so every erased task has finished — and been dropped —
+        // before the `'env` borrows it captures can go out of scope. This
+        // is the same argument `std::thread::scope` makes.
         let task: Task = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(task)
         };

@@ -1,0 +1,63 @@
+//! The synchronization facade every module in this crate goes through.
+//!
+//! In a normal build (`cfg(not(feature = "model"))`) everything here is a
+//! zero-cost re-export of `std::sync` / `std::thread`, so the executor's
+//! runtime behaviour is **bit-identical** to using `std` directly — the
+//! facade compiles away entirely.
+//!
+//! With the `model` feature enabled, the same names resolve to the
+//! instrumented shim primitives in `crate::model`: mutexes, condvars,
+//! atomics and thread spawning all become *scheduling points* of a
+//! deterministic bounded-interleaving scheduler, so the pool's
+//! park/steal/scope protocols can be exhaustively (small bounds) or
+//! randomly (seeded, deep) explored offline — in the spirit of `loom`,
+//! hand-rolled like the repo's vendored rand shims because the build is
+//! offline.
+//!
+//! Rules of the facade:
+//!
+//! * `pool.rs`, `scope.rs`, `ops.rs` and `lib.rs` import **only** from
+//!   here — never `std::sync::{Mutex, Condvar}`, `std::sync::atomic`, or
+//!   `std::thread::{spawn, yield_now}` directly (`cargo run -p xtask --
+//!   lint` has no pass for this yet, but the model tests would silently
+//!   lose coverage for any primitive that bypassed the facade);
+//! * [`Arc`] is re-exported from `std` in both modes: reference counting
+//!   carries no scheduling decision the model needs to interleave;
+//! * `std::sync::OnceLock` (the `global()` pool, parsed knobs) stays on
+//!   `std` too — one-time initialisation is not part of the explored
+//!   protocols, and the global pool is never constructed under the model.
+
+pub use std::sync::Arc;
+
+#[cfg(not(feature = "model"))]
+mod imp {
+    pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+    /// Atomics, as `std::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    }
+
+    /// Thread spawning and yielding, as `std::thread`.
+    pub mod thread {
+        pub use std::thread::{yield_now, JoinHandle};
+
+        /// Spawn a named OS thread ([`std::thread::Builder`] with `name`).
+        pub fn spawn_named<F, T>(name: String, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            std::thread::Builder::new().name(name).spawn(f)
+        }
+    }
+}
+
+#[cfg(feature = "model")]
+mod imp {
+    pub use crate::model::shim::atomic;
+    pub use crate::model::shim::thread;
+    pub use crate::model::shim::{Condvar, Mutex, MutexGuard};
+}
+
+pub use imp::*;

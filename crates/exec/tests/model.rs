@@ -1,0 +1,320 @@
+//! Model-checked protocol tests for the executor (`--features model`).
+//!
+//! Each test drives the *real* pool/scope/steal code — compiled onto the
+//! shim primitives of `mmdiag_exec::model` via the `sync` facade — under
+//! the deterministic bounded-interleaving scheduler, or a small hand-built
+//! replica of one protocol where exhaustive enumeration is feasible.
+//!
+//! The known-risky protocols from three PRs of executor growth each get a
+//! suite: condvar park/unpark (lost wakeups), FIFO steal vs injector
+//! submission races, nested-scope help-running on a 1-worker pool
+//! (deadlock regression), and panic propagation mid-steal.
+#![cfg(feature = "model")]
+
+use mmdiag_exec::model::{check_exhaustive, check_random, replay, Config};
+use mmdiag_exec::sync::atomic::{AtomicUsize, Ordering};
+use mmdiag_exec::sync::{thread, Arc, Condvar, Mutex};
+use mmdiag_exec::Pool;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deep seeded exploration must be reproducible: same root seed, same
+/// number of distinct interleavings (and the same verdict), twice over.
+#[test]
+fn seeded_exploration_is_deterministic() {
+    let run = || {
+        check_random(0x5EED_CAFE, 300, Config::deep(), || {
+            let pool = Pool::new(1);
+            let hits = AtomicUsize::new(0);
+            pool.scope(|s| {
+                let hits = &hits;
+                s.spawn(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 1);
+        })
+    };
+    let a = run();
+    let b = run();
+    a.assert_ok();
+    b.assert_ok();
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.distinct_interleavings, b.distinct_interleavings);
+    assert!(
+        a.distinct_interleavings > 100,
+        "{}",
+        a.distinct_interleavings
+    );
+}
+
+/// A faithful replica of `Shared::notify` / the worker park loop:
+/// register as a sleeper under the sleep lock, re-check the queue, then
+/// wait; the producer publishes before loading `sleepers`. Exhaustively
+/// enumerated — no schedule may deadlock.
+#[test]
+fn condvar_park_protocol_exhaustive_no_lost_wakeup() {
+    struct Park {
+        queue: Mutex<VecDeque<u32>>,
+        sleep: Mutex<()>,
+        wake: Condvar,
+        sleepers: AtomicUsize,
+    }
+    let report = check_exhaustive(
+        Config {
+            max_preemptions: None,
+            ..Config::default()
+        },
+        || {
+            let p = Arc::new(Park {
+                queue: Mutex::new(VecDeque::new()),
+                sleep: Mutex::new(()),
+                wake: Condvar::new(),
+                sleepers: AtomicUsize::new(0),
+            });
+            let producer = {
+                let p = Arc::clone(&p);
+                thread::spawn_named("producer".into(), move || {
+                    p.queue.lock().unwrap().push_back(7);
+                    // Fast path: only take the sleep lock when a consumer
+                    // is parked (or committing to park).
+                    if p.sleepers.load(Ordering::SeqCst) > 0 {
+                        let _g = p.sleep.lock().unwrap();
+                        p.wake.notify_all();
+                    }
+                })
+                .unwrap()
+            };
+            // Consumer: pop, else park — registering as a sleeper *before*
+            // the re-check, exactly like `worker_loop`.
+            let got = loop {
+                if let Some(v) = p.queue.lock().unwrap().pop_front() {
+                    break v;
+                }
+                let guard = p.sleep.lock().unwrap();
+                p.sleepers.fetch_add(1, Ordering::SeqCst);
+                if !p.queue.lock().unwrap().is_empty() {
+                    p.sleepers.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                let _guard = p.wake.wait(guard).unwrap();
+                p.sleepers.fetch_sub(1, Ordering::SeqCst);
+            };
+            assert_eq!(got, 7);
+            producer.join().unwrap();
+        },
+    );
+    report.assert_ok();
+    assert!(!report.truncated, "protocol space must be fully enumerable");
+    assert!(report.executions > 50, "{}", report.executions);
+}
+
+/// The classic broken variant — the consumer decides to sleep from a
+/// *stale* emptiness check, so the producer's notify can fire before the
+/// wait starts. The explorer must find the lost-wakeup deadlock, and the
+/// reported schedule must reproduce it on demand.
+#[test]
+fn lost_wakeup_is_found_and_schedule_replays() {
+    fn buggy() {
+        let queue: Arc<Mutex<VecDeque<u32>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let sleep: Arc<Mutex<()>> = Arc::new(Mutex::new(()));
+        let wake: Arc<Condvar> = Arc::new(Condvar::new());
+        let producer = {
+            let (queue, sleep, wake) = (Arc::clone(&queue), Arc::clone(&sleep), Arc::clone(&wake));
+            thread::spawn_named("producer".into(), move || {
+                queue.lock().unwrap().push_back(7);
+                let _g = sleep.lock().unwrap();
+                wake.notify_all();
+            })
+            .unwrap()
+        };
+        // BUG (deliberate): the emptiness check happens before taking the
+        // sleep lock, and is not repeated under it — the notify can land
+        // in that window and the wait below never returns.
+        if queue.lock().unwrap().is_empty() {
+            let g = sleep.lock().unwrap();
+            let _g = wake.wait(g).unwrap();
+        }
+        assert_eq!(queue.lock().unwrap().pop_front(), Some(7));
+        producer.join().unwrap();
+    }
+    let report = check_exhaustive(Config::default(), buggy);
+    let failure = report
+        .failure
+        .expect("the exhaustive explorer must find the lost wakeup");
+    assert!(
+        failure.message.contains("deadlock"),
+        "lost wakeup surfaces as a deadlock: {}",
+        failure.message
+    );
+    // Shrink-to-seed: the recorded schedule alone reproduces the hang.
+    let replayed = replay(&failure.schedule, buggy);
+    let again = replayed
+        .failure
+        .expect("replaying the failing schedule must fail again");
+    assert!(again.message.contains("deadlock"), "{}", again.message);
+    assert_eq!(again.schedule, failure.schedule);
+}
+
+/// The real pool's park/unpark protocol: a worker races to park while the
+/// scope submits through the injector and `Shared::notify` takes the
+/// sleeper fast path. Any lost wakeup deadlocks the scope barrier, which
+/// the engine reports. Deep seeded run, ≥ 1000 distinct interleavings.
+#[test]
+fn pool_park_unpark_no_lost_wakeup() {
+    let report = check_random(0xB0A7_1D1E, 1400, Config::deep(), || {
+        let pool = Pool::new(1);
+        let hits = AtomicUsize::new(0);
+        // Two scopes back to back: the second submission is the one that
+        // typically races a worker already heading to park.
+        for _ in 0..2 {
+            pool.scope(|s| {
+                let hits = &hits;
+                s.spawn(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    });
+    report.assert_ok();
+    assert!(
+        report.distinct_interleavings >= 1000,
+        "explored only {} distinct interleavings",
+        report.distinct_interleavings
+    );
+}
+
+/// FIFO steal vs injector submission: external tasks land in the shared
+/// injector while worker-spawned subtasks go to per-worker deques and get
+/// stolen front-first. Every task must run exactly once under every
+/// schedule. Deep seeded run, ≥ 1000 distinct interleavings.
+#[test]
+fn pool_fifo_steal_vs_injector_tasks_run_exactly_once() {
+    let report = check_random(0x57EA_1F1F, 1400, Config::deep(), || {
+        let pool = Pool::new(2);
+        let hits: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+        pool.scope(|s| {
+            let hits = &hits;
+            let pool = &pool;
+            for outer in 0..2 {
+                // Injector path: submitted from the (non-worker) test thread.
+                s.spawn(move || {
+                    hits[outer].fetch_add(1, Ordering::SeqCst);
+                    // Deque path: spawned from inside a worker, stealable
+                    // FIFO by the other worker.
+                    pool.scope(|inner| {
+                        for sub in 0..2 {
+                            inner.spawn(move || {
+                                hits[2 + 2 * outer + sub].fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::SeqCst),
+                1,
+                "task {i} ran a wrong number of times"
+            );
+        }
+    });
+    report.assert_ok();
+    assert!(
+        report.distinct_interleavings >= 1000,
+        "explored only {} distinct interleavings",
+        report.distinct_interleavings
+    );
+}
+
+/// Deadlock regression: nested scopes on a 1-worker pool force the worker
+/// to help-run inner tasks while blocked on the inner barrier. A schedule
+/// that parks instead of helping would deadlock; none may exist.
+#[test]
+fn pool_nested_scope_help_running_one_worker_no_deadlock() {
+    let report = check_random(0xDEAD_70C5, 1400, Config::deep(), || {
+        let pool = Pool::new(1);
+        let total = AtomicUsize::new(0);
+        let pool_ref = &pool;
+        let total_ref = &total;
+        pool.scope(|s| {
+            s.spawn(move || {
+                pool_ref.scope(|inner| {
+                    for _ in 0..2 {
+                        inner.spawn(|| {
+                            total_ref.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+                total_ref.fetch_add(10, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 12);
+    });
+    report.assert_ok();
+    assert!(
+        report.distinct_interleavings >= 1000,
+        "explored only {} distinct interleavings",
+        report.distinct_interleavings
+    );
+}
+
+/// Panic propagation mid-steal: one stolen task panics while others are
+/// in flight on a second worker. Under every schedule the scope barrier
+/// must still complete all tasks, re-raise the panic at the caller, and
+/// leave the pool usable. Deep seeded run, ≥ 1000 distinct interleavings.
+#[test]
+fn pool_panic_propagation_mid_steal() {
+    let report = check_random(0x9A71_C0DE, 1400, Config::deep(), || {
+        let pool = Pool::new(2);
+        let survivors = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let survivors = &survivors;
+                s.spawn(move || {
+                    survivors.fetch_add(1, Ordering::SeqCst);
+                });
+                s.spawn(|| panic!("boom mid-steal"));
+                s.spawn(move || {
+                    survivors.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }));
+        let payload = result.expect_err("scope must re-raise the task panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| payload.downcast_ref::<String>().unwrap().as_str());
+        assert!(msg.contains("boom mid-steal"), "{msg}");
+        // The barrier completed: the non-panicking tasks all ran, and the
+        // pool survives for the next parallel section.
+        assert_eq!(survivors.load(Ordering::SeqCst), 2);
+        let doubled = pool.map(&[1usize, 2, 3], |_, &x| x * 2);
+        assert_eq!(doubled, vec![2, 4, 6]);
+    });
+    report.assert_ok();
+    assert!(
+        report.distinct_interleavings >= 1000,
+        "explored only {} distinct interleavings",
+        report.distinct_interleavings
+    );
+}
+
+/// The lowest-index-wins CAS reduction under the model: whatever the
+/// schedule, the published minimum equals the sequential answer.
+#[test]
+fn pool_min_index_reduction_is_schedule_independent() {
+    let report = check_random(0x313D_EC15, 600, Config::deep(), || {
+        let pool = Pool::new(2);
+        let got = pool.min_index_where(6, 2, |i| i >= 3);
+        assert_eq!(got, Some(3));
+    });
+    report.assert_ok();
+    assert!(
+        report.distinct_interleavings >= 500,
+        "{}",
+        report.distinct_interleavings
+    );
+}

@@ -28,7 +28,7 @@
 //! The driver, the execution backends, `diagnose_batch`, the event
 //! simulator and the sampled verifier all consume this type unchanged
 //! through the `Topology + Partitionable` traits.
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use mmdiag_topology::partition::honest_probe_contributors_local;

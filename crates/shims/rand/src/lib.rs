@@ -4,7 +4,7 @@
 //! Exposes exactly the surface this workspace consumes: the [`RngCore`] /
 //! [`Rng`] / [`SeedableRng`] traits and [`seq::SliceRandom::shuffle`].
 //! Deterministic given a deterministic generator; no `OsRng`, no `thread_rng`.
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// A source of random 32/64-bit words.

@@ -7,7 +7,7 @@
 //! `rand_chacha` for the same seed — `seed_from_u64` expands the seed with
 //! SplitMix64 rather than rand's PCG scheme — but they are deterministic,
 //! portable, and pass the statistical smoke tests below.
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::{RngCore, SeedableRng};

@@ -15,6 +15,7 @@
 //! * [`streaming::OnDemandOracle`] — the same oracle semantics from
 //!   `O(|F|)` state (sorted members, no bitmap) for the 10⁶–10⁷-node
 //!   implicit scale path.
+#![forbid(unsafe_code)]
 
 pub mod fault;
 pub mod model;

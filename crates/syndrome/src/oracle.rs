@@ -104,13 +104,11 @@ mod tests {
     #[test]
     fn lookups_counted_atomically() {
         let oracle = OracleSyndrome::new(FaultSet::empty(8), TesterBehavior::AllZero);
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| {
-                    for _ in 0..100 {
-                        oracle.lookup(0, 1, 2);
-                    }
-                });
+        // Contend through the shared executor (raw `std::thread` use is
+        // confined to `crates/exec` by the xtask thread-containment lint).
+        mmdiag_exec::Pool::new(4).for_each_index(0..4, |_| {
+            for _ in 0..100 {
+                oracle.lookup(0, 1, 2);
             }
         });
         assert_eq!(oracle.lookups(), 400);

@@ -19,6 +19,7 @@
 //! * [`perm`] — permutation (un)ranking for the permutation families;
 //! * [`cached::Cached`] — a materialised view with precomputed part labels;
 //! * [`verify`] — structural assertions shared by the family test-suites.
+#![forbid(unsafe_code)]
 
 pub mod algorithms;
 pub mod cached;

@@ -1,0 +1,45 @@
+//! Workspace task runner — `cargo run -p xtask -- lint`.
+//!
+//! Dependency-free static analysis keeping the workspace's concurrency
+//! and layering invariants from rotting; see [`lint`] for the pass list.
+#![forbid(unsafe_code)]
+
+mod lint;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    // Compile-time anchor: <root>/crates/xtask → <root>. No process
+    // environment is read at runtime (the env-single-door invariant
+    // applies to this binary like everything else).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives at <workspace>/crates/xtask");
+    let (examined, findings) = lint::lint_workspace(root);
+    if findings.is_empty() {
+        println!("xtask lint: {examined} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "xtask lint: {} finding(s) across {examined} files",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -15,6 +15,7 @@
 //! assert_eq!(report.diagnosis.faults, vec![3, 64]);
 //! assert!(report.verification.agreed_or_unverified());
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod session;
 
