@@ -64,6 +64,7 @@
 use mmdiag::{BatchJob, Diagnoser, VerificationVerdict};
 use mmdiag_core::{sequential_cutover, Diagnosis, PhaseTelemetry};
 use mmdiag_distsim::{plan, FaultTimeline, LatencyModel};
+use mmdiag_exec::Pool;
 use mmdiag_implicit::{ImplicitTopology, MaterialisationGuard};
 use mmdiag_syndrome::{FaultSet, OnDemandOracle, OracleSyndrome, SyndromeSource, TesterBehavior};
 use mmdiag_topology::families::{
@@ -72,7 +73,8 @@ use mmdiag_topology::families::{
     TwistedNCube,
 };
 use mmdiag_topology::{Cached, NodeId, Partitionable, Topology};
-use std::time::Instant;
+use mmdiag_trace::clock::Stopwatch;
+use mmdiag_trace::{HistogramSummary, MetricValue, TraceConfig, TraceSummary};
 
 /// Lane widths exercised by the strided-search leg of every run (the
 /// historical "parallel driver x threads" trajectory axis — the lanes now
@@ -372,8 +374,46 @@ pub struct RunRecord {
     /// where the baseline leg ran, `Sampled` on driver-only cells,
     /// `Unverified` on the quick-mode skip set.
     pub verification: VerificationVerdict,
+    /// The `--profile` leg: one extra fully observed rep (traced session
+    /// on an instrumented pool) with its Chrome trace written to disk.
+    /// `None` unless the sweep ran with a [`ProfileConfig`].
+    pub profile: Option<ProfileLeg>,
     /// Did every leg that ran return the planted set?
     pub agree: bool,
+}
+
+/// Where `--profile` writes its per-cell Chrome traces (directory derived
+/// from `--out`: `BENCH_5.json` → `BENCH_5-traces/`).
+#[derive(Clone, Debug)]
+pub struct ProfileConfig {
+    /// Directory receiving one `<seq>-<instance>-….trace.json` per cell.
+    pub trace_dir: std::path::PathBuf,
+}
+
+/// The `--profile` leg of one cell: one extra rep on a tracing session
+/// driving an instrumented pool, exported as a Chrome trace-event file
+/// (validated as JSON before it is written — the CI smoke leg relies on
+/// the nonzero exit when that fails) with its rollups embedded additively
+/// in the v2 record.
+#[derive(Clone, Debug)]
+pub struct ProfileLeg {
+    /// Path of the Chrome trace file written for this cell.
+    pub trace_file: String,
+    /// Spans recorded in the trace.
+    pub spans: usize,
+    /// Events lost to ring wraparound before the drain (0 unless the
+    /// cell overflows the default ring capacity).
+    pub dropped: u64,
+    /// Phase telemetry of the profiled rep — asserted identical to the
+    /// trace's own rollup before the file is written.
+    pub phases: PhaseTelemetry,
+    /// The unified `oracle.lookups` metric after the profiled rep (the
+    /// same cell the report's `lookups_used` reads).
+    pub oracle_lookups: u64,
+    /// Tasks the instrumented pool executed during the rep.
+    pub tasks: u64,
+    /// Task run-time distribution across all workers (ns).
+    pub run_ns: HistogramSummary,
 }
 
 /// One per-instance batched submission: all the instance's sweep
@@ -439,9 +479,9 @@ fn best_of<R>(mut f: impl FnMut() -> R) -> (u128, R) {
     let mut best = u128::MAX;
     let mut result = None;
     for _ in 0..TIMING_REPS {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let r = f();
-        best = best.min(t0.elapsed().as_nanos());
+        best = best.min(u128::from(t0.elapsed_ns()));
         result = Some(r);
     }
     (best, result.expect("TIMING_REPS >= 1"))
@@ -508,21 +548,21 @@ pub fn run_cell_opts(
         {
             break;
         }
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let d = seq_session
             .run(&s)
             .unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
-        let elapsed = t0.elapsed().as_nanos();
+        let elapsed = u128::from(t0.elapsed_ns());
         if elapsed < driver_nanos {
             driver_nanos = elapsed;
             phases = d.telemetry;
         }
         debug_assert!(semantically_equal(&d.diagnosis, &drv));
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let a = auto_session
             .run(&s)
             .unwrap_or_else(|e| panic!("{}: auto backend failed: {e}", g.name()));
-        auto_nanos = auto_nanos.min(t0.elapsed().as_nanos());
+        auto_nanos = auto_nanos.min(u128::from(t0.elapsed_ns()));
         auto = Some(a);
     }
     let auto = auto.expect("at least one timing pair runs");
@@ -541,13 +581,13 @@ pub fn run_cell_opts(
     let mut par_agree = true;
     for threads in THREAD_SWEEP {
         let lane_session = Diagnoser::new(g).lanes(threads);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let par = lane_session
             .run(&s)
             .unwrap_or_else(|e| panic!("{}: parallel driver failed: {e}", g.name()));
         parallel.push(ParallelLeg {
             threads,
-            nanos: t0.elapsed().as_nanos(),
+            nanos: u128::from(t0.elapsed_ns()),
         });
         par_agree &= par.diagnosis.faults == drv.faults
             && par.diagnosis.certified_part == drv.certified_part;
@@ -562,11 +602,11 @@ pub fn run_cell_opts(
     } else {
         let sim_session = Diagnoser::new(g).simulated(LatencyModel::Unit);
         let timeline = FaultTimeline::static_faults(faults.clone(), behavior);
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let sim = sim_session
             .simulate(&timeline)
             .unwrap_or_else(|e| panic!("{}: distsim failed: {e}", g.name()));
-        let sim_nanos = t0.elapsed().as_nanos();
+        let sim_nanos = u128::from(t0.elapsed_ns());
         let model = plan(g);
         let matches_model = match sim.check_against_plan(&model) {
             Ok(()) => true,
@@ -661,6 +701,7 @@ pub fn run_cell_opts(
         distsim,
         phases,
         verification,
+        profile: None,
         agree,
     }
 }
@@ -714,11 +755,11 @@ pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehav
     let seq_session = Diagnoser::new(g);
     let auto_session = Diagnoser::new(g).auto();
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let report = seq_session
         .run(&s)
         .unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
-    let driver_nanos = t0.elapsed().as_nanos();
+    let driver_nanos = u128::from(t0.elapsed_ns());
     let drv = report.diagnosis;
     let phases = report.telemetry;
     assert_eq!(
@@ -730,11 +771,11 @@ pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehav
     let driver_lookups = drv.lookups_used;
 
     s.reset_lookups();
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let auto = auto_session
         .run(&s)
         .unwrap_or_else(|e| panic!("{}: auto backend failed: {e}", g.name()));
-    let auto_nanos = t0.elapsed().as_nanos();
+    let auto_nanos = u128::from(t0.elapsed_ns());
     assert!(
         semantically_equal(&auto.diagnosis, &drv),
         "{}: auto backend disagrees",
@@ -778,8 +819,96 @@ pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehav
         distsim: None,
         phases,
         verification,
+        profile: None,
         agree: true,
     }
+}
+
+/// Run one extra, fully observed rep of a cell: a tracing session on a
+/// fresh instrumented pool, the phase spans cross-checked for *exact*
+/// agreement with the report telemetry, and the Chrome trace-event
+/// document validated ([`mmdiag_trace::export::validate_json`]) and
+/// written to `cfg.trace_dir`. Panics — a nonzero bench exit — if the
+/// emitted trace is malformed or disagrees with the telemetry, which is
+/// precisely what the `--profile --quick` CI smoke leg checks.
+pub fn profile_cell<S: SyndromeSource + Sync + ?Sized>(
+    inst: &Instance,
+    s: &S,
+    num_faults: usize,
+    behavior: &str,
+    cfg: &ProfileConfig,
+    seq: usize,
+) -> ProfileLeg {
+    let g = inst.graph.as_ref();
+    s.reset_lookups();
+    let pool = Pool::new_instrumented(mmdiag_exec::global().threads());
+    let session = Diagnoser::new(g)
+        .pooled_on(&pool)
+        .trace(TraceConfig::default());
+    let report = session
+        .run(s)
+        .unwrap_or_else(|e| panic!("{}: profiled rep failed: {e}", g.name()));
+    let tracer = session.tracer();
+    let events = tracer.drain();
+    let summary = TraceSummary::from_events(&events, tracer.dropped());
+    // The trace *is* the telemetry: the spans returned the very values the
+    // report stores, so the rollup must agree exactly — ns and lookups.
+    assert_eq!(summary.probe_nanos, report.telemetry.probe_nanos);
+    assert_eq!(summary.certify_nanos, report.telemetry.certify_nanos);
+    assert_eq!(summary.grow_nanos, report.telemetry.grow_nanos);
+    assert_eq!(summary.probe_lookups, report.telemetry.probe_lookups);
+    assert_eq!(summary.grow_lookups, report.telemetry.grow_lookups);
+
+    let metrics = tracer.metrics().expect("tracing session").snapshot();
+    let oracle_lookups = metrics
+        .iter()
+        .find(|m| m.name == "oracle.lookups")
+        .and_then(|m| match m.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        })
+        .unwrap_or_else(|| s.lookups());
+
+    let doc = mmdiag_trace::export::chrome_trace(&events, &metrics);
+    mmdiag_trace::export::validate_json(&doc)
+        .unwrap_or_else(|e| panic!("{}: emitted Chrome trace is not valid JSON: {e}", g.name()));
+    let file = cfg.trace_dir.join(format!(
+        "{seq:03}-{}-f{num_faults}-{}.trace.json",
+        file_stem(&g.name()),
+        file_stem(behavior),
+    ));
+    std::fs::write(&file, &doc).unwrap_or_else(|e| panic!("cannot write {}: {e}", file.display()));
+
+    let stats = pool.stats().expect("instrumented pool");
+    let totals = stats.totals();
+    ProfileLeg {
+        trace_file: file.display().to_string(),
+        spans: summary.span_count,
+        dropped: summary.dropped,
+        phases: report.telemetry,
+        oracle_lookups,
+        tasks: totals.tasks,
+        run_ns: totals.run_ns,
+    }
+}
+
+/// Collapse a display name into a filesystem-safe file stem.
+fn file_stem(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut dash = false;
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            dash = false;
+        } else if !dash && !out.is_empty() {
+            out.push('-');
+            dash = true;
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    out
 }
 
 /// Semantic equality of two diagnoses: the deterministic contract every
@@ -801,6 +930,19 @@ fn semantically_equal(a: &Diagnosis, b: &Diagnosis) -> bool {
 pub fn sweep(
     catalog: &[Instance],
     quick: bool,
+    progress: &mut dyn FnMut(&RunRecord),
+) -> (Vec<RunRecord>, Vec<BatchRecord>) {
+    sweep_profiled(catalog, quick, None, progress)
+}
+
+/// [`sweep`] with the `--profile` leg: when `profile` is `Some`, every
+/// cell additionally runs one fully observed rep ([`profile_cell`]) whose
+/// Chrome trace lands in the config's directory and whose rollups ride
+/// along in the cell's [`RunRecord::profile`].
+pub fn sweep_profiled(
+    catalog: &[Instance],
+    quick: bool,
+    profile: Option<&ProfileConfig>,
     progress: &mut dyn FnMut(&RunRecord),
 ) -> (Vec<RunRecord>, Vec<BatchRecord>) {
     // Largest node count per family — the baseline-skip set in quick mode.
@@ -834,7 +976,18 @@ pub fn sweep(
                 TesterBehavior::Random { seed: salt },
                 TesterBehavior::AllZero,
             ] {
-                let rec = run_scale_cell(inst, faults.members(), behavior);
+                let mut rec = run_scale_cell(inst, faults.members(), behavior);
+                if let Some(cfg) = profile {
+                    let ps = OnDemandOracle::new(g.node_count(), faults.members(), behavior);
+                    rec.profile = Some(profile_cell(
+                        inst,
+                        &ps,
+                        faults.len(),
+                        &format!("{behavior:?}"),
+                        cfg,
+                        records.len(),
+                    ));
+                }
                 progress(&rec);
                 records.push(rec);
             }
@@ -851,13 +1004,35 @@ pub fn sweep(
             let salt = (i as u64) << 16 | j as u64;
             let faults = scatter_faults(g.node_count(), k, salt);
             let behavior = TesterBehavior::Random { seed: salt };
-            let rec = run_cell_opts(inst, &faults, behavior, with_baseline);
+            let mut rec = run_cell_opts(inst, &faults, behavior, with_baseline);
+            if let Some(cfg) = profile {
+                let ps = OracleSyndrome::new(faults.clone(), behavior);
+                rec.profile = Some(profile_cell(
+                    inst,
+                    &ps,
+                    faults.len(),
+                    &format!("{behavior:?}"),
+                    cfg,
+                    records.len(),
+                ));
+            }
             progress(&rec);
             records.push(rec);
             cell_syndromes.push(OracleSyndrome::new(faults, behavior));
         }
         let faults = scatter_faults(g.node_count(), bound, 0xA110_0000 + i as u64);
-        let rec = run_cell_opts(inst, &faults, TesterBehavior::AllZero, with_baseline);
+        let mut rec = run_cell_opts(inst, &faults, TesterBehavior::AllZero, with_baseline);
+        if let Some(cfg) = profile {
+            let ps = OracleSyndrome::new(faults.clone(), TesterBehavior::AllZero);
+            rec.profile = Some(profile_cell(
+                inst,
+                &ps,
+                faults.len(),
+                "AllZero",
+                cfg,
+                records.len(),
+            ));
+        }
         progress(&rec);
         records.push(rec);
         cell_syndromes.push(OracleSyndrome::new(faults, TesterBehavior::AllZero));
@@ -877,12 +1052,12 @@ fn batch_submission(inst: &Instance, syndromes: &[OracleSyndrome]) -> BatchRecor
         .collect();
     let seq_session = Diagnoser::new(g);
     let pooled_session = Diagnoser::new(g).pooled();
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let seq = seq_session.submit_batch(&jobs);
-    let seq_nanos = t0.elapsed().as_nanos();
-    let t0 = Instant::now();
+    let seq_nanos = u128::from(t0.elapsed_ns());
+    let t0 = Stopwatch::start();
     let pooled = pooled_session.submit_batch(&jobs);
-    let pooled_nanos = t0.elapsed().as_nanos();
+    let pooled_nanos = u128::from(t0.elapsed_ns());
     let agree = seq.len() == pooled.len()
         && seq.iter().zip(&pooled).all(|(a, b)| match (a, b) {
             (Ok(a), Ok(b)) => match (a.report(), b.report()) {
@@ -1093,6 +1268,23 @@ fn verification_json(v: &VerificationVerdict) -> String {
     }
 }
 
+/// Render a [`HistogramSummary`] as its JSON object (count / sum / min /
+/// max / mean and the log-bucket quantiles).
+fn histogram_json(h: &HistogramSummary) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+         \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.mean(),
+        h.p50(),
+        h.p90(),
+        h.p99()
+    )
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -1222,6 +1414,29 @@ pub fn to_json(
             r.phases.grow_lookups,
         );
         let verification = verification_json(&r.verification);
+        // The `--profile` addition — additive key, schema stamp unchanged.
+        let profile = match &r.profile {
+            Some(p) => format!(
+                concat!(
+                    "{{\"trace_file\": \"{}\", \"spans\": {}, \"dropped\": {}, ",
+                    "\"phases\": {{\"probe_nanos\": {}, \"certify_nanos\": {}, ",
+                    "\"grow_nanos\": {}, \"probe_lookups\": {}, \"grow_lookups\": {}}}, ",
+                    "\"oracle_lookups\": {}, \"tasks\": {}, \"run_ns\": {}}}"
+                ),
+                json_escape(&p.trace_file),
+                p.spans,
+                p.dropped,
+                p.phases.probe_nanos,
+                p.phases.certify_nanos,
+                p.phases.grow_nanos,
+                p.phases.probe_lookups,
+                p.phases.grow_lookups,
+                p.oracle_lookups,
+                p.tasks,
+                histogram_json(&p.run_ns),
+            ),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
             concat!(
                 "    {{\"family\": \"{}\", \"instance\": \"{}\", \"nodes\": {}, ",
@@ -1237,6 +1452,7 @@ pub fn to_json(
                 "\"distsim\": {}, ",
                 "\"phases\": {}, ",
                 "\"verification\": {}, ",
+                "\"profile\": {}, ",
                 "\"speedup_vs_baseline\": {}, \"lookup_ratio\": {}, ",
                 "\"driver_only\": {}, \"agree\": {}}}{}\n"
             ),
@@ -1263,6 +1479,7 @@ pub fn to_json(
             distsim,
             phases,
             verification,
+            profile,
             speedup_vs_baseline,
             lookup_ratio,
             r.baseline.is_none() && r.distsim.is_none(),
@@ -1626,6 +1843,67 @@ mod tests {
         std::fs::create_dir_all(&empty).unwrap();
         assert!(calibrate_cutover_in(&empty).is_none());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn profiled_cell_emits_a_valid_chrome_trace() {
+        let dir = std::env::temp_dir().join(format!("mmdiag-profile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ProfileConfig {
+            trace_dir: dir.clone(),
+        };
+        let inst = Instance::new("hypercube", &Hypercube::new(7));
+        let faults = scatter_faults(128, 3, 9);
+        let s = OracleSyndrome::new(faults.clone(), TesterBehavior::Random { seed: 9 });
+        let leg = profile_cell(&inst, &s, faults.len(), "Random { seed: 9 }", &cfg, 0);
+        assert!(leg.spans >= 3, "probe + certify + grow at minimum");
+        assert_eq!(leg.dropped, 0);
+        assert_eq!(
+            leg.oracle_lookups,
+            s.lookups(),
+            "the metric and lookups() read the same cell"
+        );
+        assert_eq!(leg.tasks, leg.run_ns.count, "every pool task timed");
+        let doc = std::fs::read_to_string(&leg.trace_file).unwrap();
+        mmdiag_trace::export::validate_json(&doc).unwrap();
+        assert!(doc.contains("\"ph\":\"X\""), "complete span events");
+        assert!(doc.contains("mmdiag.metrics"), "trailing metrics event");
+        assert!(doc.contains("oracle.lookups"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn profiled_sweep_attaches_legs_and_the_v2_profile_key() {
+        let dir = std::env::temp_dir().join(format!("mmdiag-psweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ProfileConfig {
+            trace_dir: dir.clone(),
+        };
+        let catalog = vec![Instance::new("hypercube", &Hypercube::new(7))];
+        let (records, _) = sweep_profiled(&catalog, true, Some(&cfg), &mut |_| {});
+        assert!(!records.is_empty());
+        for rec in &records {
+            let leg = rec.profile.as_ref().expect("every cell profiled");
+            assert!(leg.phases.probe_lookups > 0, "probe phase consults entries");
+            assert!(std::path::Path::new(&leg.trace_file).is_file());
+        }
+        // One trace file per cell, embedded additively under "profile".
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), records.len());
+        let json = to_json("BENCH_TEST", &records, &[], &[]);
+        assert!(json.contains("\"profile\": {\"trace_file\": "));
+        assert!(json.contains("\"run_ns\": {\"count\": "));
+        // The un-profiled sweep keeps the key as an explicit null.
+        let (plain, _) = sweep(&catalog, true, &mut |_| {});
+        let json = to_json("BENCH_TEST", &plain, &[], &[]);
+        assert!(json.contains("\"profile\": null"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_stem_is_filesystem_safe() {
+        assert_eq!(file_stem("Q_17 (131072 nodes)"), "q-17-131072-nodes");
+        assert_eq!(file_stem("Random { seed: 9 }"), "random-seed-9");
+        assert_eq!(file_stem("AllZero"), "allzero");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! machine-readable trajectory file.
 //!
 //! ```text
-//! mmdiag-bench [--quick] [--large] [--xlarge] [--out PATH]
+//! mmdiag-bench [--quick] [--large] [--xlarge] [--profile] [--out PATH]
 //!   --quick   one (smallest) instance per family instead of the full
 //!             sweep; also skips the baseline on the largest instance per
 //!             family so the smoke run stays well under ~10 s. With
@@ -24,6 +24,12 @@
 //!             (Q_20…Q_23, Q^3_13, Q^4_11, S_10) — CSR-free adjacency,
 //!             streaming syndromes, sampled cross-check; a
 //!             materialisation guard asserts no Cached copy is built
+//!   --profile run one extra fully observed rep per cell — tracing session
+//!             on an instrumented pool — writing one Chrome trace-event
+//!             file per cell (Perfetto-loadable) into a directory derived
+//!             from --out (BENCH_5.json → BENCH_5-traces/). Every trace is
+//!             validated as JSON before it is written and its rollups are
+//!             embedded additively in the v2 records under "profile"
 //!   --out     output path (default BENCH_5.json in the working directory)
 //! ```
 //!
@@ -34,8 +40,8 @@
 #![forbid(unsafe_code)]
 
 use mmdiag_bench::{
-    calibrate_cutover, distsim_scenarios, full_catalog, large_catalog, small_catalog, sweep,
-    to_json, xlarge_catalog,
+    calibrate_cutover, distsim_scenarios, full_catalog, large_catalog, small_catalog,
+    sweep_profiled, to_json, xlarge_catalog, ProfileConfig,
 };
 
 /// The trajectory id this binary emits (`BENCH_<pr>`).
@@ -49,6 +55,7 @@ fn main() {
     let mut quick = mmdiag_exec::knobs().quick;
     let mut large = false;
     let mut xlarge = false;
+    let mut profile = false;
     let mut out_path = format!("{BENCH_ID}.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,18 +63,32 @@ fn main() {
             "--quick" => quick = true,
             "--large" => large = true,
             "--xlarge" => xlarge = true,
+            "--profile" => profile = true,
             "--out" => {
                 out_path = args
                     .next()
                     .unwrap_or_else(|| die("--out needs a path argument"));
             }
             "--help" | "-h" => {
-                eprintln!("usage: mmdiag-bench [--quick] [--large] [--xlarge] [--out PATH]");
+                eprintln!(
+                    "usage: mmdiag-bench [--quick] [--large] [--xlarge] [--profile] [--out PATH]"
+                );
                 return;
             }
             other => die(&format!("unknown argument: {other}")),
         }
     }
+    // --profile writes one Chrome trace per cell next to the trajectory
+    // file: BENCH_5.json → BENCH_5-traces/.
+    let profile_cfg = if profile {
+        let stem = out_path.strip_suffix(".json").unwrap_or(&out_path);
+        let dir = std::path::PathBuf::from(format!("{stem}-traces"));
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+        Some(ProfileConfig { trace_dir: dir })
+    } else {
+        None
+    };
 
     match calibrate_cutover() {
         Some(cal) => eprintln!(
@@ -117,7 +138,7 @@ fn main() {
         "lookup×",
         "sim"
     );
-    let (records, batches) = sweep(&catalog, quick, &mut |rec| {
+    let (records, batches) = sweep_profiled(&catalog, quick, profile_cfg.as_ref(), &mut |rec| {
         eprintln!(
             "{:<22} {:>7} {:>7} {:>12.1} {:>12.1} {:>12} {:>9} {:>9} {:>6}",
             rec.instance,
@@ -206,6 +227,13 @@ fn main() {
         scenarios.len(),
         mmdiag_bench::families_covered(&records),
     );
+    if let Some(cfg) = &profile_cfg {
+        eprintln!(
+            "{} validated Chrome traces -> {}/",
+            records.iter().filter(|r| r.profile.is_some()).count(),
+            cfg.trace_dir.display()
+        );
+    }
     if disagreements > 0 {
         std::process::exit(1);
     }

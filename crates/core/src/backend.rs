@@ -207,7 +207,16 @@ where
     T: Partitionable + Sync + ?Sized,
     S: SyndromeSource + Sync + ?Sized,
 {
-    session::run_pooled(g, s, pool, width, g.driver_fault_bound(), None).map(|r| r.diagnosis)
+    session::run_pooled(
+        g,
+        s,
+        pool,
+        width,
+        g.driver_fault_bound(),
+        &mmdiag_trace::Tracer::disabled(),
+        None,
+    )
+    .map(|r| r.diagnosis)
 }
 
 /// Evaluate many syndromes against one instance in a single submission.

@@ -117,6 +117,7 @@ where
     let opts = SessionOptions {
         fault_bound: Some(fault_bound),
         check_preconditions: false,
+        ..SessionOptions::default()
     };
     run_sequential(g, s, &opts).map(|r| r.diagnosis)
 }

@@ -27,9 +27,14 @@
 //! healthy set and spanning tree are bit-identical across backends; only
 //! the accounting (`probes`, `lookups_used`, telemetry) is
 //! scheduling-dependent under pooled execution. The phase instrumentation
-//! is a handful of monotonic-clock reads per diagnosis — it consults no
-//! extra syndrome entries, so lookup accounting is unchanged from the
-//! pre-session implementations.
+//! is a handful of monotonic-clock reads per diagnosis (through the
+//! `mmdiag_trace::clock` door) — it consults no extra syndrome entries,
+//! so lookup accounting is unchanged from the pre-session
+//! implementations. When [`SessionOptions::tracer`] is enabled, each
+//! phase additionally records one span into the trace sink whose
+//! duration and lookup attribute are *the same values* stored in
+//! [`PhaseTelemetry`] — `mmdiag_trace::TraceSummary` built from the
+//! drained trace agrees with the report exactly.
 
 use crate::driver::{Diagnosis, DiagnosisError};
 use crate::set_builder::{set_builder, set_builder_in_part, SetBuilderOutcome, Workspace};
@@ -37,9 +42,9 @@ use crate::tree::SpanningTree;
 use mmdiag_exec::Pool;
 use mmdiag_syndrome::SyndromeSource;
 use mmdiag_topology::{NodeId, Partitionable, Topology};
+use mmdiag_trace::{checked_delta, Tracer, CAT_PHASE, PHASE_CERTIFY, PHASE_GROW, PHASE_PROBE};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// The §4.1 all-healthy certificate: the restricted probe tree grown at
 /// the certified part's representative, whose distinct internal
@@ -260,7 +265,7 @@ impl<'p> From<&crate::ExecutionBackend<'p>> for BackendPolicy<'p> {
 }
 
 /// Non-backend session knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 #[non_exhaustive]
 pub struct SessionOptions {
     /// Explicit fault bound; `None` means the family's
@@ -269,6 +274,11 @@ pub struct SessionOptions {
     /// Run §5's decomposition precondition check first (the legacy
     /// `*_unchecked` entry points disable this).
     pub check_preconditions: bool,
+    /// Where phase spans are recorded. The default is the disabled
+    /// tracer (a cloneable `None` handle — recording costs one `Option`
+    /// check and stores nothing); the umbrella `Diagnoser` installs an
+    /// enabled one via `.trace(...)` or the `MMDIAG_TRACE` knob.
+    pub tracer: Tracer,
 }
 
 impl Default for SessionOptions {
@@ -276,6 +286,7 @@ impl Default for SessionOptions {
         SessionOptions {
             fault_bound: None,
             check_preconditions: true,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -330,7 +341,7 @@ where
         probes,
         healthy_count: full.members.len(),
         tree: full.tree,
-        lookups_used: s.lookups().saturating_sub(start_lookups),
+        lookups_used: checked_delta(s.lookups(), start_lookups),
     })
 }
 
@@ -343,6 +354,7 @@ pub(crate) fn run_sequential_in_ws<T, S>(
     g: &T,
     s: &S,
     fault_bound: usize,
+    tracer: &Tracer,
     ws: &mut Workspace,
 ) -> Result<DiagnosisReport, DiagnosisError>
 where
@@ -350,7 +362,7 @@ where
     S: SyndromeSource + ?Sized,
 {
     let start_lookups = s.lookups();
-    let t_probe = Instant::now();
+    let probe_span = tracer.span(CAT_PHASE, PHASE_PROBE);
     let mut winner: Option<(usize, NodeId, SetBuilderOutcome)> = None;
     let mut probes = 0usize;
     for part in 0..g.part_count() {
@@ -362,21 +374,20 @@ where
             break;
         }
     }
-    let probe_nanos = t_probe.elapsed().as_nanos();
-    let probe_lookups = s.lookups().saturating_sub(start_lookups);
+    let probe_lookups = checked_delta(s.lookups(), start_lookups);
+    // The span's return *is* the telemetry value, so the trace and the
+    // report can never disagree on a phase duration.
+    let probe_nanos = u128::from(probe_span.finish_with_value(probe_lookups));
     let (part, u0, probe) = winner.ok_or(DiagnosisError::NoPartCertified)?;
 
-    let t_certify = Instant::now();
+    let certify_span = tracer.span(CAT_PHASE, PHASE_CERTIFY);
     let certificate = Certificate::from_probe(part, u0, probe);
-    let certify_nanos = t_certify.elapsed().as_nanos();
+    let certify_nanos = u128::from(certify_span.finish());
 
-    let t_grow = Instant::now();
+    let grow_span = tracer.span(CAT_PHASE, PHASE_GROW);
     let diagnosis = grow_and_sweep(g, s, u0, part, probes, fault_bound, start_lookups, ws)?;
-    let grow_nanos = t_grow.elapsed().as_nanos();
-    let grow_lookups = s
-        .lookups()
-        .saturating_sub(start_lookups)
-        .saturating_sub(probe_lookups);
+    let grow_lookups = checked_delta(checked_delta(s.lookups(), start_lookups), probe_lookups);
+    let grow_nanos = u128::from(grow_span.finish_with_value(grow_lookups));
 
     Ok(DiagnosisReport {
         diagnosis,
@@ -409,7 +420,7 @@ where
     }
     let bound = opts.fault_bound.unwrap_or_else(|| g.driver_fault_bound());
     let mut ws = Workspace::new(g.node_count());
-    run_sequential_in_ws(g, s, bound, &mut ws)
+    run_sequential_in_ws(g, s, bound, &opts.tracer, &mut ws)
 }
 
 /// The pooled session run: the probe search dispatched on `pool` as a
@@ -424,6 +435,7 @@ pub(crate) fn run_pooled<T, S>(
     pool: &Pool,
     width: usize,
     fault_bound: usize,
+    tracer: &Tracer,
     ws_pool: Option<&crate::WorkspacePool>,
 ) -> Result<DiagnosisReport, DiagnosisError>
 where
@@ -454,7 +466,7 @@ where
     // lookup accounting).
     let best: Mutex<Option<(usize, Certificate)>> = Mutex::new(None);
 
-    let t_probe = Instant::now();
+    let probe_span = tracer.span(CAT_PHASE, PHASE_PROBE);
     let part = pool
         .min_index_where(parts, width, |p| {
             probes.fetch_add(1, Ordering::Relaxed);
@@ -472,21 +484,21 @@ where
             })
         })
         .ok_or(DiagnosisError::NoPartCertified)?;
-    let probe_nanos = t_probe.elapsed().as_nanos();
-    let probe_lookups = s.lookups().saturating_sub(start_lookups);
+    let probe_lookups = checked_delta(s.lookups(), start_lookups);
+    let probe_nanos = u128::from(probe_span.finish_with_value(probe_lookups));
 
-    let t_certify = Instant::now();
+    let certify_span = tracer.span(CAT_PHASE, PHASE_CERTIFY);
     let (held_part, certificate) = best
         .into_inner()
         .unwrap()
         .expect("the reduction returned a certified part, so one was captured");
     debug_assert_eq!(held_part, part, "captured certificate is the winner's");
-    let certify_nanos = t_certify.elapsed().as_nanos();
+    let certify_nanos = u128::from(certify_span.finish());
 
     // Sequential tail: unrestricted growth from the winning seed + sweep,
     // on whatever workspace slot belongs to this (usually non-worker)
     // thread.
-    let t_grow = Instant::now();
+    let grow_span = tracer.span(CAT_PHASE, PHASE_GROW);
     let diagnosis = ws_pool.with(pool.worker_index(), |ws| {
         grow_and_sweep(
             g,
@@ -499,11 +511,8 @@ where
             ws,
         )
     })?;
-    let grow_nanos = t_grow.elapsed().as_nanos();
-    let grow_lookups = s
-        .lookups()
-        .saturating_sub(start_lookups)
-        .saturating_sub(probe_lookups);
+    let grow_lookups = checked_delta(checked_delta(s.lookups(), start_lookups), probe_lookups);
+    let grow_nanos = u128::from(grow_span.finish_with_value(grow_lookups));
 
     Ok(DiagnosisReport {
         diagnosis,
@@ -542,13 +551,17 @@ where
     let bound = opts.fault_bound.unwrap_or_else(|| g.driver_fault_bound());
     match policy.resolve(g.node_count()) {
         ResolvedBackend::Sequential => match ws_pool {
-            Some(wsp) => wsp.with(None, |ws| run_sequential_in_ws(g, s, bound, ws)),
+            Some(wsp) => wsp.with(None, |ws| {
+                run_sequential_in_ws(g, s, bound, &opts.tracer, ws)
+            }),
             None => {
                 let mut ws = Workspace::new(g.node_count());
-                run_sequential_in_ws(g, s, bound, &mut ws)
+                run_sequential_in_ws(g, s, bound, &opts.tracer, &mut ws)
             }
         },
-        ResolvedBackend::Pooled { pool, width } => run_pooled(g, s, pool, width, bound, ws_pool),
+        ResolvedBackend::Pooled { pool, width } => {
+            run_pooled(g, s, pool, width, bound, &opts.tracer, ws_pool)
+        }
     }
 }
 
@@ -586,13 +599,17 @@ where
         ResolvedBackend::Sequential => match ws_pool {
             Some(wsp) => syndromes
                 .iter()
-                .map(|s| wsp.with(None, |ws| run_sequential_in_ws(g, s, bound, ws)))
+                .map(|s| {
+                    wsp.with(None, |ws| {
+                        run_sequential_in_ws(g, s, bound, &opts.tracer, ws)
+                    })
+                })
                 .collect(),
             None => {
                 let mut ws = Workspace::new(g.node_count());
                 syndromes
                     .iter()
-                    .map(|s| run_sequential_in_ws(g, s, bound, &mut ws))
+                    .map(|s| run_sequential_in_ws(g, s, bound, &opts.tracer, &mut ws))
                     .collect()
             }
         },
@@ -607,7 +624,7 @@ where
             };
             pool.map(syndromes, |_, s| {
                 wsp.with(pool.worker_index(), |ws| {
-                    run_sequential_in_ws(g, s, bound, ws)
+                    run_sequential_in_ws(g, s, bound, &opts.tracer, ws)
                 })
             })
         }
@@ -668,7 +685,16 @@ mod tests {
         let seq = run_sequential(&g, &s, &SessionOptions::default()).unwrap();
         let pool = Pool::new(4);
         s.reset_lookups();
-        let par = run_pooled(&g, &s, &pool, 4, g.driver_fault_bound(), None).unwrap();
+        let par = run_pooled(
+            &g,
+            &s,
+            &pool,
+            4,
+            g.driver_fault_bound(),
+            &Tracer::disabled(),
+            None,
+        )
+        .unwrap();
         assert_eq!(par.diagnosis.faults, seq.diagnosis.faults);
         assert_eq!(par.diagnosis.certified_part, seq.diagnosis.certified_part);
         assert_eq!(par.diagnosis.tree.edges(), seq.diagnosis.tree.edges());
@@ -683,6 +709,47 @@ mod tests {
         assert_eq!(par.certificate.rounds, seq.certificate.rounds);
         assert_eq!(par.certificate.tree.edges(), seq.certificate.tree.edges());
         assert_eq!(par.backend, "pooled");
+    }
+
+    #[test]
+    fn traced_sequential_run_agrees_with_telemetry_exactly() {
+        use mmdiag_trace::{TraceConfig, TraceSummary};
+        let g = Hypercube::new(7);
+        let s = OracleSyndrome::new(
+            FaultSet::new(128, &[3, 64, 90]),
+            TesterBehavior::Random { seed: 7 },
+        );
+        let opts = SessionOptions {
+            tracer: Tracer::new(TraceConfig::default()),
+            ..SessionOptions::default()
+        };
+        let report = run_sequential(&g, &s, &opts).unwrap();
+        let summary = TraceSummary::from_events(&opts.tracer.drain(), opts.tracer.dropped());
+        // Nanosecond-exact: the span `finish` return *is* the telemetry.
+        assert_eq!(summary.probe_nanos, report.telemetry.probe_nanos);
+        assert_eq!(summary.certify_nanos, report.telemetry.certify_nanos);
+        assert_eq!(summary.grow_nanos, report.telemetry.grow_nanos);
+        assert_eq!(summary.probe_lookups, report.telemetry.probe_lookups);
+        assert_eq!(summary.grow_lookups, report.telemetry.grow_lookups);
+        assert_eq!(summary.span_count, 3, "exactly one span per phase");
+        assert_eq!(summary.dropped, 0);
+    }
+
+    #[test]
+    fn traced_pooled_run_agrees_with_telemetry_exactly() {
+        use mmdiag_trace::{TraceConfig, TraceSummary};
+        let g = Hypercube::new(7);
+        let s = OracleSyndrome::new(FaultSet::new(128, &[5, 70, 101]), TesterBehavior::AllZero);
+        let pool = Pool::new(4);
+        let tracer = Tracer::new(TraceConfig::default());
+        let report = run_pooled(&g, &s, &pool, 4, g.driver_fault_bound(), &tracer, None).unwrap();
+        let summary = TraceSummary::from_events(&tracer.drain(), tracer.dropped());
+        assert_eq!(summary.probe_nanos, report.telemetry.probe_nanos);
+        assert_eq!(summary.certify_nanos, report.telemetry.certify_nanos);
+        assert_eq!(summary.grow_nanos, report.telemetry.grow_nanos);
+        assert_eq!(summary.probe_lookups, report.telemetry.probe_lookups);
+        assert_eq!(summary.grow_lookups, report.telemetry.grow_lookups);
+        assert_eq!(summary.span_count, 3);
     }
 
     #[test]
@@ -747,6 +814,7 @@ mod tests {
         let opts = SessionOptions {
             fault_bound: Some(0),
             check_preconditions: false,
+            ..SessionOptions::default()
         };
         let report = run_sequential(&g, &s, &opts).unwrap();
         assert!(report.diagnosis.faults.is_empty());

@@ -7,6 +7,7 @@
 //! were sent — the whole simulation is a pure function of its inputs, with
 //! no dependence on hash iteration order or heap tie-breaking accidents.
 
+use mmdiag_trace::{Histogram, HistogramSummary};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -56,12 +57,32 @@ pub struct EventQueue<M> {
     seq: u64,
     now: Time,
     delivered: u64,
+    /// Future-event-list depth sampled at each delivery (before the pop),
+    /// the classic DES congestion signal.
+    depth: Histogram,
+    /// Deliveries per distinct virtual instant ("round" under unit
+    /// latencies) — closed rounds only; the in-progress instant is folded
+    /// in by [`EventQueue::telemetry`].
+    round_messages: Histogram,
+    /// Deliveries observed at the current `now` so far.
+    current_round: u64,
 }
 
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Depth and per-round delivery distributions of one queue's lifetime,
+/// deterministic for a deterministic schedule (so reports carrying it
+/// stay `Eq`-comparable).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueTelemetry {
+    /// In-flight message count observed at each delivery.
+    pub depth: HistogramSummary,
+    /// Messages delivered per distinct virtual instant.
+    pub round_messages: HistogramSummary,
 }
 
 impl<M> EventQueue<M> {
@@ -72,6 +93,9 @@ impl<M> EventQueue<M> {
             seq: 0,
             now: 0,
             delivered: 0,
+            depth: Histogram::new(),
+            round_messages: Histogram::new(),
+            current_round: 0,
         }
     }
 
@@ -111,10 +135,32 @@ impl<M> EventQueue<M> {
     /// arrival time.
     pub fn pop(&mut self) -> Option<(Time, M)> {
         let env = self.heap.pop()?;
+        // Depth as the delivery observed it (this message included).
+        self.depth.record(self.heap.len() as u64 + 1);
         debug_assert!(env.at >= self.now, "event queue time went backwards");
+        if env.at > self.now && self.current_round > 0 {
+            self.round_messages.record(self.current_round);
+            self.current_round = 0;
+        }
         self.now = env.at;
+        self.current_round += 1;
         self.delivered += 1;
         Some((env.at, env.msg))
+    }
+
+    /// The queue's depth and per-round distributions so far, the
+    /// in-progress virtual instant included.
+    pub fn telemetry(&self) -> QueueTelemetry {
+        let mut round_messages = self.round_messages.snapshot();
+        if self.current_round > 0 {
+            let pending = Histogram::new();
+            pending.record(self.current_round);
+            round_messages = round_messages.merge(&pending.snapshot());
+        }
+        QueueTelemetry {
+            depth: self.depth.snapshot(),
+            round_messages,
+        }
     }
 }
 
@@ -163,5 +209,49 @@ mod tests {
         q.schedule(3, ());
         q.pop();
         q.schedule(1, ());
+    }
+
+    #[test]
+    fn telemetry_tracks_depth_and_rounds() {
+        let mut q = EventQueue::new();
+        // Two instants: 3 messages at t=1, 2 at t=4.
+        for i in 0..3 {
+            q.schedule(1, i);
+        }
+        for i in 0..2 {
+            q.schedule(4, 10 + i);
+        }
+        while q.pop().is_some() {}
+        let t = q.telemetry();
+        // Depth samples: one per delivery, observed as 5, 4, 3, 2, 1.
+        assert_eq!(t.depth.count, 5);
+        assert_eq!(t.depth.max, 5);
+        assert_eq!(t.depth.min, 1);
+        assert_eq!(t.depth.sum, 5 + 4 + 3 + 2 + 1);
+        // Rounds: {3 messages, 2 messages}, in-progress instant included.
+        assert_eq!(t.round_messages.count, 2);
+        assert_eq!(t.round_messages.sum, 5);
+        assert_eq!(t.round_messages.max, 3);
+        assert_eq!(t.round_messages.min, 2);
+    }
+
+    #[test]
+    fn telemetry_is_deterministic_across_identical_schedules() {
+        let run = || {
+            let mut q = EventQueue::new();
+            for i in 0..50u64 {
+                q.schedule(i / 7, i);
+            }
+            while q.pop().is_some() {}
+            q.telemetry()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_queue_has_empty_telemetry() {
+        let mut q = EventQueue::<u8>::new();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.telemetry(), QueueTelemetry::default());
     }
 }

@@ -45,7 +45,7 @@ pub mod link;
 pub mod node;
 pub mod sim;
 
-pub use event::{EventQueue, Time};
+pub use event::{EventQueue, QueueTelemetry, Time};
 pub use inject::FaultTimeline;
 pub use link::LatencyModel;
 pub use sim::{

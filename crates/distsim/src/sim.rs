@@ -29,7 +29,7 @@
 //! `mmdiag_core::diagnose` — both facts are asserted per cell by the bench
 //! sweep and the workspace cross-check suite.
 
-use crate::event::{EventQueue, Time};
+use crate::event::{EventQueue, QueueTelemetry, Time};
 use crate::inject::FaultTimeline;
 use crate::link::LatencyModel;
 use crate::node::{grow_levels, GrowOutcome, NodeState};
@@ -93,6 +93,12 @@ pub struct SimReport {
     pub total_time: Time,
     /// Messages delivered by the event engine across both phases.
     pub events_delivered: u64,
+    /// Event-engine distributions across both waves: future-event-list
+    /// depth at each delivery and messages per virtual instant.
+    /// Deterministic for a given `(topology, timeline, latency)` input,
+    /// like every other field. (Boxed: two full histogram summaries
+    /// would otherwise dominate the size of every moved report.)
+    pub queue: Box<QueueTelemetry>,
 }
 
 impl SimReport {
@@ -455,6 +461,7 @@ pub fn simulate_unchecked<T: Partitionable + ?Sized>(
         },
         total_time: gstats.completion,
         events_delivered: queue.delivered(),
+        queue: Box::new(queue.telemetry()),
     })
 }
 

@@ -19,6 +19,7 @@
 //! | `MMDIAG_CUTOVER` | positive integer | ignored (`None`) |
 //! | `MMDIAG_QUICK` | any non-empty value except `"0"` | `false` |
 //! | `MMDIAG_SAMPLES` | positive integer | ignored (`None`) |
+//! | `MMDIAG_TRACE` | any non-empty value except `"0"` | `false` |
 
 use std::sync::OnceLock;
 
@@ -38,6 +39,10 @@ pub struct Knobs {
     /// `MMDIAG_SAMPLES` — spot-checker samples per part. `None` when
     /// unset, unparsable, or zero.
     pub samples_per_part: Option<usize>,
+    /// `MMDIAG_TRACE` — enable the `mmdiag-trace` observability layer
+    /// process-wide: sessions trace by default and pools record
+    /// per-worker stats. Same truthiness rules as `MMDIAG_QUICK`.
+    pub trace: bool,
 }
 
 impl Knobs {
@@ -49,7 +54,9 @@ impl Knobs {
         cutover: Option<&str>,
         quick: Option<&str>,
         samples: Option<&str>,
+        trace: Option<&str>,
     ) -> Self {
+        let truthy = |v: Option<&str>| v.is_some_and(|v| !v.is_empty() && v != "0");
         Knobs {
             pool_threads: pool_threads
                 .and_then(|v| v.trim().parse::<usize>().ok())
@@ -57,10 +64,11 @@ impl Knobs {
             cutover: cutover
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .filter(|&n| n > 0),
-            quick: quick.is_some_and(|v| !v.is_empty() && v != "0"),
+            quick: truthy(quick),
             samples_per_part: samples
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .filter(|&k| k > 0),
+            trace: truthy(trace),
         }
     }
 
@@ -73,6 +81,7 @@ impl Knobs {
             get("MMDIAG_CUTOVER").as_deref(),
             get("MMDIAG_QUICK").as_deref(),
             get("MMDIAG_SAMPLES").as_deref(),
+            get("MMDIAG_TRACE").as_deref(),
         )
     }
 }
@@ -92,35 +101,47 @@ mod tests {
 
     #[test]
     fn unset_environment_yields_defaults() {
-        let k = Knobs::parse(None, None, None, None);
+        let k = Knobs::parse(None, None, None, None, None);
         assert_eq!(k.pool_threads, None);
         assert_eq!(k.cutover, None);
         assert!(!k.quick);
         assert_eq!(k.samples_per_part, None);
+        assert!(!k.trace);
     }
 
     #[test]
     fn well_formed_values_parse() {
-        let k = Knobs::parse(Some("6"), Some("2048"), Some("1"), Some("5"));
+        let k = Knobs::parse(Some("6"), Some("2048"), Some("1"), Some("5"), Some("1"));
         assert_eq!(k.pool_threads, Some(6));
         assert_eq!(k.cutover, Some(2048));
         assert!(k.quick);
         assert_eq!(k.samples_per_part, Some(5));
+        assert!(k.trace);
+    }
+
+    #[test]
+    fn trace_flag_shares_quick_truthiness() {
+        let trace = |v| Knobs::parse(None, None, None, None, v).trace;
+        assert!(trace(Some("1")));
+        assert!(trace(Some("chrome")));
+        assert!(!trace(Some("0")));
+        assert!(!trace(Some("")));
+        assert!(!trace(None));
     }
 
     #[test]
     fn pool_threads_is_clamped_not_rejected() {
         assert_eq!(
-            Knobs::parse(Some("0"), None, None, None).pool_threads,
+            Knobs::parse(Some("0"), None, None, None, None).pool_threads,
             Some(1)
         );
         assert_eq!(
-            Knobs::parse(Some("999"), None, None, None).pool_threads,
+            Knobs::parse(Some("999"), None, None, None, None).pool_threads,
             Some(64)
         );
         // Whitespace survives the historical `.trim()` behaviour.
         assert_eq!(
-            Knobs::parse(Some(" 4 "), None, None, None).pool_threads,
+            Knobs::parse(Some(" 4 "), None, None, None, None).pool_threads,
             Some(4)
         );
     }
@@ -128,7 +149,7 @@ mod tests {
     #[test]
     fn malformed_integers_are_ignored() {
         for bad in ["", "abc", "-3", "1.5", "0x10", "1e3", "१०"] {
-            let k = Knobs::parse(Some(bad), Some(bad), None, Some(bad));
+            let k = Knobs::parse(Some(bad), Some(bad), None, Some(bad), None);
             assert_eq!(k.pool_threads, None, "pool_threads {bad:?}");
             assert_eq!(k.cutover, None, "cutover {bad:?}");
             assert_eq!(k.samples_per_part, None, "samples {bad:?}");
@@ -137,7 +158,7 @@ mod tests {
 
     #[test]
     fn zero_cutover_and_zero_samples_are_rejected() {
-        let k = Knobs::parse(None, Some("0"), None, Some("0"));
+        let k = Knobs::parse(None, Some("0"), None, Some("0"), None);
         assert_eq!(k.cutover, None, "a zero cutover would disable sequential");
         assert_eq!(k.samples_per_part, None);
     }
@@ -146,12 +167,12 @@ mod tests {
     fn quick_flag_semantics_match_the_historical_parse() {
         // The bench binary historically treated any non-empty value except
         // "0" as on — including junk like "false".
-        assert!(Knobs::parse(None, None, Some("1"), None).quick);
-        assert!(Knobs::parse(None, None, Some("yes"), None).quick);
-        assert!(Knobs::parse(None, None, Some("false"), None).quick);
-        assert!(!Knobs::parse(None, None, Some("0"), None).quick);
-        assert!(!Knobs::parse(None, None, Some(""), None).quick);
-        assert!(!Knobs::parse(None, None, None, None).quick);
+        assert!(Knobs::parse(None, None, Some("1"), None, None).quick);
+        assert!(Knobs::parse(None, None, Some("yes"), None, None).quick);
+        assert!(Knobs::parse(None, None, Some("false"), None, None).quick);
+        assert!(!Knobs::parse(None, None, Some("0"), None, None).quick);
+        assert!(!Knobs::parse(None, None, Some(""), None, None).quick);
+        assert!(!Knobs::parse(None, None, None, None, None).quick);
     }
 
     #[test]

@@ -27,6 +27,17 @@
 //! Nested scopes are supported — a worker blocked on an inner scope runs
 //! queued tasks while it waits, so even a 1-thread pool cannot deadlock.
 //!
+//! ## Observability
+//!
+//! An *instrumented* pool ([`Pool::new_instrumented`], or any pool when
+//! the `MMDIAG_TRACE` knob is set) counts per-worker steals, injector
+//! pops, park/unpark cycles and a log-bucketed task-run-time histogram
+//! ([`Pool::stats`]). The counters live behind the [`mod@sync`] facade
+//! like every other primitive here, so an instrumented pool still
+//! builds — and stays explorable — under the `model` feature; an
+//! uninstrumented pool carries no counters at all and its hot path is
+//! unchanged.
+//!
 //! ## Correctness tooling
 //!
 //! All synchronization goes through the [`mod@sync`] facade: a normal
@@ -63,7 +74,7 @@ mod scope;
 pub mod sync;
 
 pub use config::{knobs, Knobs};
-pub use pool::Pool;
+pub use pool::{Pool, PoolStats, WorkerStats};
 pub use scope::Scope;
 
 use std::sync::OnceLock;
@@ -233,6 +244,45 @@ mod tests {
             assert_eq!(pool.worker_index(), None);
             assert!(other.worker_index().is_some());
         });
+    }
+
+    #[test]
+    fn instrumented_pool_accounts_every_task() {
+        let pool = Pool::new_instrumented(3);
+        assert!(pool.stats_enabled());
+        let hits = AtomicUsize::new(0);
+        pool.for_each_index(0..200, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
+        let stats = pool.stats().expect("instrumented");
+        assert_eq!(stats.workers.len(), 3);
+        let t = stats.totals();
+        assert!(t.tasks >= 1, "chunk tasks must be counted");
+        assert_eq!(
+            t.run_ns.count, t.tasks,
+            "every counted task must also be timed"
+        );
+        assert_eq!(
+            t.run_ns.buckets.iter().sum::<u64>(),
+            t.tasks,
+            "histogram buckets account for every task"
+        );
+        // A second snapshot only grows.
+        pool.for_each_index(0..50, |_| {});
+        let t2 = pool.stats().expect("instrumented").totals();
+        assert!(t2.tasks >= t.tasks);
+    }
+
+    #[test]
+    fn default_pool_is_bare_unless_trace_knob_set() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.stats_enabled(), knobs().trace);
+        if !knobs().trace {
+            assert!(pool.stats().is_none());
+            // The pool still works without stats, obviously.
+            assert_eq!(pool.map(&[1, 2], |_, &x| x), vec![1, 2]);
+        }
     }
 
     #[test]

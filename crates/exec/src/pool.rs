@@ -18,6 +18,7 @@
 use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::sync::thread::JoinHandle;
 use crate::sync::{Arc, Condvar, Mutex};
+use mmdiag_trace::{bucket_index, clock, HistogramSummary, BUCKETS};
 use std::cell::Cell;
 use std::collections::VecDeque;
 
@@ -46,6 +47,153 @@ pub(crate) struct Shared {
     /// `wake` — lets [`Shared::notify`] skip the lock when nobody sleeps.
     sleepers: AtomicUsize,
     shutdown: AtomicBool,
+    /// Per-worker scheduling counters, present only on instrumented
+    /// pools. `None` keeps the uninstrumented hot path free of the
+    /// counter atomics — under the `model` feature every `crate::sync`
+    /// atomic op is a scheduling point, so the protocol model tests
+    /// (which never enable stats) explore exactly the same state space
+    /// as before this field existed.
+    stats: Option<Stats>,
+}
+
+/// The counter block of an instrumented pool. All cells go through the
+/// `crate::sync` facade — the `model` build runs them on the shim
+/// atomics, so an instrumented pool stays explorable by the model tests.
+struct Stats {
+    workers: Vec<WorkerCounters>,
+}
+
+struct WorkerCounters {
+    tasks: AtomicUsize,
+    steals: AtomicUsize,
+    injector_pops: AtomicUsize,
+    parks: AtomicUsize,
+    unparks: AtomicUsize,
+    /// Log-bucketed task-run-nanoseconds histogram (layout of
+    /// [`mmdiag_trace::bucket_index`]), plus its moments — mirrored into
+    /// a [`HistogramSummary`] by [`Pool::stats`].
+    run_ns_buckets: Vec<AtomicUsize>,
+    run_ns_count: AtomicUsize,
+    run_ns_sum: AtomicUsize,
+    run_ns_min: AtomicUsize,
+    run_ns_max: AtomicUsize,
+}
+
+impl WorkerCounters {
+    fn new() -> Self {
+        WorkerCounters {
+            tasks: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            injector_pops: AtomicUsize::new(0),
+            parks: AtomicUsize::new(0),
+            unparks: AtomicUsize::new(0),
+            run_ns_buckets: (0..BUCKETS).map(|_| AtomicUsize::new(0)).collect(),
+            run_ns_count: AtomicUsize::new(0),
+            run_ns_sum: AtomicUsize::new(0),
+            run_ns_min: AtomicUsize::new(usize::MAX),
+            run_ns_max: AtomicUsize::new(0),
+        }
+    }
+
+    fn record_run(&self, ns: u64) {
+        let ns_usize = ns as usize;
+        self.run_ns_count.fetch_add(1, Ordering::Relaxed);
+        self.run_ns_sum.fetch_add(ns_usize, Ordering::Relaxed);
+        self.run_ns_buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        // fetch_min/max are not in the sync facade's atomic surface;
+        // CAS loops keep the facade small (these run once per task, not
+        // per steal attempt).
+        let mut cur = self.run_ns_min.load(Ordering::Relaxed);
+        while ns_usize < cur {
+            match self.run_ns_min.compare_exchange_weak(
+                cur,
+                ns_usize,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.run_ns_max.load(Ordering::Relaxed);
+        while ns_usize > cur {
+            match self.run_ns_max.compare_exchange_weak(
+                cur,
+                ns_usize,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> WorkerStats {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.run_ns_buckets) {
+            *b = a.load(Ordering::Relaxed) as u64;
+        }
+        let count = self.run_ns_count.load(Ordering::Relaxed) as u64;
+        WorkerStats {
+            tasks: self.tasks.load(Ordering::Relaxed) as u64,
+            steals: self.steals.load(Ordering::Relaxed) as u64,
+            injector_pops: self.injector_pops.load(Ordering::Relaxed) as u64,
+            parks: self.parks.load(Ordering::Relaxed) as u64,
+            unparks: self.unparks.load(Ordering::Relaxed) as u64,
+            run_ns: HistogramSummary {
+                count,
+                sum: self.run_ns_sum.load(Ordering::Relaxed) as u64,
+                min: if count == 0 {
+                    0
+                } else {
+                    self.run_ns_min.load(Ordering::Relaxed) as u64
+                },
+                max: self.run_ns_max.load(Ordering::Relaxed) as u64,
+                buckets,
+            },
+        }
+    }
+}
+
+/// One worker's scheduling counters, snapshot by [`Pool::stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker executed (own deque, injector and stolen).
+    pub tasks: u64,
+    /// Tasks it stole from another worker's deque.
+    pub steals: u64,
+    /// Tasks it popped from the shared injector.
+    pub injector_pops: u64,
+    /// Times it parked on the wake condvar.
+    pub parks: u64,
+    /// Times it returned from a park.
+    pub unparks: u64,
+    /// Distribution of task run times in nanoseconds.
+    pub run_ns: HistogramSummary,
+}
+
+/// Per-worker stats of an instrumented pool ([`Pool::stats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// One entry per worker, indexed like [`Pool::worker_index`].
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Sum every worker's counters (histograms merged).
+    pub fn totals(&self) -> WorkerStats {
+        let mut total = WorkerStats::default();
+        for w in &self.workers {
+            total.tasks += w.tasks;
+            total.steals += w.steals;
+            total.injector_pops += w.injector_pops;
+            total.parks += w.parks;
+            total.unparks += w.unparks;
+            total.run_ns = total.run_ns.merge(&w.run_ns);
+        }
+        total
+    }
 }
 
 impl Shared {
@@ -56,16 +204,54 @@ impl Shared {
             return Some(t);
         }
         if let Some(t) = self.injector.lock().unwrap().pop_front() {
+            if let Some(st) = &self.stats {
+                st.workers[idx]
+                    .injector_pops
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             return Some(t);
         }
         let n = self.deques.len();
         for off in 1..n {
             let victim = (idx + off) % n;
             if let Some(t) = self.deques[victim].lock().unwrap().pop_front() {
+                if let Some(st) = &self.stats {
+                    st.workers[idx].steals.fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(t);
             }
         }
         None
+    }
+
+    /// Run one task body `f` on behalf of the worker currently executing
+    /// it, timed and counted. Called from *inside* the spawned closure
+    /// (see [`crate::scope::Scope::spawn`]), **before** the task signals
+    /// scope completion — so by the time a `Pool::scope` join returns,
+    /// every finished task's counter and histogram write is visible:
+    /// `tasks == run_ns.count` holds exactly on a quiescent pool, with no
+    /// window where a joiner reads a task that ran but was not yet
+    /// recorded. A panicking task is counted in neither (the unwind skips
+    /// both writes together). The clock is only read on instrumented
+    /// pools, so an uninstrumented pool's task dispatch is exactly what
+    /// it was before the stats layer existed.
+    pub(crate) fn run_instrumented(&self, pool_id: usize, f: impl FnOnce()) {
+        let idx = WORKER.with(|w| match w.get() {
+            Some((pool, idx)) if pool == pool_id => Some(idx),
+            _ => None,
+        });
+        match (idx, &self.stats) {
+            (Some(idx), Some(st)) => {
+                let start = clock::now_ns();
+                f();
+                let w = &st.workers[idx];
+                w.record_run(clock::now_ns().saturating_sub(start));
+                w.tasks.fetch_add(1, Ordering::Relaxed);
+            }
+            // Not a worker of this pool (cannot happen today: tasks only
+            // run on pool workers) or a bare pool: just run it.
+            _ => f(),
+        }
     }
 
     fn has_work(&self) -> bool {
@@ -117,7 +303,18 @@ pub struct Pool {
 
 impl Pool {
     /// Spawn a pool with `threads` workers (clamped to at least 1).
+    /// Instrumented when the `MMDIAG_TRACE` knob is set, bare otherwise.
     pub fn new(threads: usize) -> Self {
+        Pool::with_stats(threads, crate::config::knobs().trace)
+    }
+
+    /// Spawn an instrumented pool regardless of the `MMDIAG_TRACE` knob
+    /// — what the bench `--profile` leg and the profiling example use.
+    pub fn new_instrumented(threads: usize) -> Self {
+        Pool::with_stats(threads, true)
+    }
+
+    fn with_stats(threads: usize, instrument: bool) -> Self {
         let threads = threads.max(1);
         let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::new(Shared {
@@ -127,6 +324,9 @@ impl Pool {
             wake: Condvar::new(),
             sleepers: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            stats: instrument.then(|| Stats {
+                workers: (0..threads).map(|_| WorkerCounters::new()).collect(),
+            }),
         });
         let handles = (0..threads)
             .map(|idx| {
@@ -148,6 +348,22 @@ impl Pool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// This pool's process-unique id (the key worker threads carry in
+    /// their thread-local identity).
+    pub(crate) fn pool_id(&self) -> usize {
+        self.id
+    }
+
+    /// The shared state, for spawned closures to instrument themselves
+    /// against — `None` on a bare pool, so uninstrumented spawns don't
+    /// pay the `Arc` clone.
+    pub(crate) fn instrumentation(&self) -> Option<Arc<Shared>> {
+        self.shared
+            .stats
+            .is_some()
+            .then(|| Arc::clone(&self.shared))
     }
 
     /// Worker index of the *current* thread within this pool, if it is one
@@ -176,10 +392,27 @@ impl Pool {
     pub(crate) fn help_until(&self, worker: usize, done: &dyn Fn() -> bool) {
         while !done() {
             match self.shared.find_task(worker) {
+                // The task body carries its own instrumentation (see
+                // `Shared::run_instrumented`), attributed to this helping
+                // worker via the thread-local worker id.
                 Some(t) => t(),
                 None => crate::sync::thread::yield_now(),
             }
         }
+    }
+
+    /// Whether this pool records per-worker stats.
+    pub fn stats_enabled(&self) -> bool {
+        self.shared.stats.is_some()
+    }
+
+    /// Snapshot the per-worker scheduling counters; `None` on an
+    /// uninstrumented pool. Counters accumulate over the pool's
+    /// lifetime — diff two snapshots to attribute work to one section.
+    pub fn stats(&self) -> Option<PoolStats> {
+        self.shared.stats.as_ref().map(|st| PoolStats {
+            workers: st.workers.iter().map(WorkerCounters::snapshot).collect(),
+        })
     }
 }
 
@@ -214,7 +447,13 @@ fn worker_loop(shared: Arc<Shared>, pool_id: usize, idx: usize) {
             shared.sleepers.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
+        if let Some(st) = &shared.stats {
+            st.workers[idx].parks.fetch_add(1, Ordering::Relaxed);
+        }
         let _guard = shared.wake.wait(guard).unwrap();
+        if let Some(st) = &shared.stats {
+            st.workers[idx].unparks.fetch_add(1, Ordering::Relaxed);
+        }
         shared.sleepers.fetch_sub(1, Ordering::SeqCst);
         if shared.shutdown.load(Ordering::Acquire) {
             break;

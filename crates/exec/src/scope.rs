@@ -49,8 +49,19 @@ impl<'pool, 'env> Scope<'pool, 'env> {
     {
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
+        // Instrumentation lives *inside* the task closure, before
+        // `task_finished`: when `Pool::scope` unblocks, every completed
+        // task's stats write is already published (a joiner reading
+        // `Pool::stats` sees `tasks == run_ns.count` exactly, never a
+        // task that ran but was not yet recorded).
+        let instr = self.pool.instrumentation();
+        let pool_id = self.pool.pool_id();
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+            let body = AssertUnwindSafe(|| match instr {
+                Some(shared) => shared.run_instrumented(pool_id, f),
+                None => f(),
+            });
+            if let Err(payload) = catch_unwind(body) {
                 state.panic.lock().unwrap().get_or_insert(payload);
             }
             state.task_finished();

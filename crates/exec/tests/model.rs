@@ -15,6 +15,7 @@ use mmdiag_exec::model::{check_exhaustive, check_random, replay, Config};
 use mmdiag_exec::sync::atomic::{AtomicUsize, Ordering};
 use mmdiag_exec::sync::{thread, Arc, Condvar, Mutex};
 use mmdiag_exec::Pool;
+use mmdiag_trace::{TraceConfig, Tracer};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -297,6 +298,91 @@ fn pool_panic_propagation_mid_steal() {
     report.assert_ok();
     assert!(
         report.distinct_interleavings >= 1000,
+        "explored only {} distinct interleavings",
+        report.distinct_interleavings
+    );
+}
+
+/// The trace sink shared across pool workers: shard pushes (plain std
+/// mutexes, each held entirely within one scheduling quantum) never
+/// interact with the pool's park/steal protocol, and the wraparound
+/// accounting stays exact under every explored schedule — retained plus
+/// dropped equals recorded, and a drain leaves the sink empty.
+#[test]
+fn tracer_sink_accounting_is_exact_under_the_pool() {
+    let report = check_random(0x7ACE_51C4, 600, Config::deep(), || {
+        let pool = Pool::new(2);
+        // Two shards of three slots: eight events guarantee wraparound
+        // somewhere, whatever shard the workers' tids map to.
+        let tracer = Tracer::new(TraceConfig {
+            shards: 2,
+            shard_capacity: 3,
+        });
+        pool.scope(|s| {
+            let tracer = &tracer;
+            for i in 0..2u64 {
+                s.spawn(move || {
+                    for j in 0..4 {
+                        tracer.event("task", "tick", i * 10 + j);
+                    }
+                });
+            }
+        });
+        let events = tracer.drain();
+        let dropped = tracer.dropped();
+        assert_eq!(
+            events.len() as u64 + dropped,
+            8,
+            "retained + dropped must equal recorded"
+        );
+        assert!(dropped >= 2, "6 slots cannot hold 8 events");
+        assert!(tracer.drain().is_empty(), "drain empties the sink");
+    });
+    report.assert_ok();
+    assert!(
+        report.distinct_interleavings >= 500,
+        "explored only {} distinct interleavings",
+        report.distinct_interleavings
+    );
+}
+
+/// Instrumented-pool counters under exploration: with stats on, every
+/// task is counted and timed exactly once whatever the schedule, every
+/// non-local acquisition (injector pop or steal) is attributed to some
+/// worker, and a bare pool keeps `stats()` off — its model state space
+/// unchanged.
+#[test]
+fn pool_instrumented_counters_are_schedule_independent() {
+    let report = check_random(0x57A7_C0DE, 600, Config::deep(), || {
+        let pool = Pool::new_instrumented(2);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let hits = &hits;
+            for _ in 0..3 {
+                s.spawn(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        let stats = pool.stats().expect("instrumented pool");
+        assert_eq!(stats.workers.len(), 2);
+        let totals = stats.totals();
+        assert_eq!(totals.tasks, 3, "every task counted exactly once");
+        assert_eq!(totals.run_ns.count, 3, "every task timed exactly once");
+        assert!(
+            totals.steals + totals.injector_pops <= totals.tasks,
+            "a task is acquired at most one non-local way \
+             (steals {} + pops {} vs tasks {})",
+            totals.steals,
+            totals.injector_pops,
+            totals.tasks
+        );
+        assert!(Pool::new(1).stats().is_none(), "bare pools stay bare");
+    });
+    report.assert_ok();
+    assert!(
+        report.distinct_interleavings >= 500,
         "explored only {} distinct interleavings",
         report.distinct_interleavings
     );

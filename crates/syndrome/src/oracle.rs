@@ -14,13 +14,16 @@ use crate::fault::FaultSet;
 use crate::model::{ground_truth, TestResult, TesterBehavior};
 use crate::source::SyndromeSource;
 use mmdiag_topology::NodeId;
-use std::sync::atomic::{AtomicU64, Ordering};
+use mmdiag_trace::Counter;
+use std::sync::Arc;
 
 /// A lazy, counting syndrome source computed from a planted fault set.
 pub struct OracleSyndrome {
     faults: FaultSet,
     behavior: TesterBehavior,
-    lookups: AtomicU64,
+    /// Shared so a tracing session can register the same cell as its
+    /// `oracle.lookups` metric (see `SyndromeSource::lookup_counter`).
+    lookups: Arc<Counter>,
 }
 
 impl OracleSyndrome {
@@ -30,7 +33,7 @@ impl OracleSyndrome {
         OracleSyndrome {
             faults,
             behavior,
-            lookups: AtomicU64::new(0),
+            lookups: Arc::new(Counter::new()),
         }
     }
 
@@ -47,16 +50,20 @@ impl OracleSyndrome {
 
 impl SyndromeSource for OracleSyndrome {
     fn lookup(&self, u: NodeId, v: NodeId, w: NodeId) -> TestResult {
-        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.lookups.inc();
         ground_truth(&self.faults, u, v, w, self.behavior)
     }
 
     fn lookups(&self) -> u64 {
-        self.lookups.load(Ordering::Relaxed)
+        self.lookups.get()
     }
 
     fn reset_lookups(&self) {
-        self.lookups.store(0, Ordering::Relaxed);
+        self.lookups.reset();
+    }
+
+    fn lookup_counter(&self) -> Option<Arc<Counter>> {
+        Some(Arc::clone(&self.lookups))
     }
 }
 

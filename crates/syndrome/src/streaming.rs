@@ -18,7 +18,8 @@ use crate::fault::FaultSet;
 use crate::model::{outcome_from_flags, TestResult, TesterBehavior};
 use crate::source::SyndromeSource;
 use mmdiag_topology::NodeId;
-use std::sync::atomic::{AtomicU64, Ordering};
+use mmdiag_trace::Counter;
+use std::sync::Arc;
 
 /// A lazy, counting syndrome source holding `O(|F|)` state: the sorted
 /// fault members plus the faulty-tester behaviour.
@@ -26,7 +27,9 @@ pub struct OnDemandOracle {
     members: Vec<NodeId>,
     universe: usize,
     behavior: TesterBehavior,
-    lookups: AtomicU64,
+    /// Shared so a tracing session can register the same cell as its
+    /// `oracle.lookups` metric (see `SyndromeSource::lookup_counter`).
+    lookups: Arc<Counter>,
 }
 
 impl OnDemandOracle {
@@ -46,7 +49,7 @@ impl OnDemandOracle {
             members,
             universe,
             behavior,
-            lookups: AtomicU64::new(0),
+            lookups: Arc::new(Counter::new()),
         }
     }
 
@@ -56,7 +59,7 @@ impl OnDemandOracle {
             members: faults.members().to_vec(),
             universe: faults.universe(),
             behavior,
-            lookups: AtomicU64::new(0),
+            lookups: Arc::new(Counter::new()),
         }
     }
 
@@ -92,7 +95,7 @@ impl OnDemandOracle {
 
 impl SyndromeSource for OnDemandOracle {
     fn lookup(&self, u: NodeId, v: NodeId, w: NodeId) -> TestResult {
-        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.lookups.inc();
         outcome_from_flags(
             self.is_faulty(u),
             self.is_faulty(v),
@@ -105,11 +108,15 @@ impl SyndromeSource for OnDemandOracle {
     }
 
     fn lookups(&self) -> u64 {
-        self.lookups.load(Ordering::Relaxed)
+        self.lookups.get()
     }
 
     fn reset_lookups(&self) {
-        self.lookups.store(0, Ordering::Relaxed);
+        self.lookups.reset();
+    }
+
+    fn lookup_counter(&self) -> Option<Arc<Counter>> {
+        Some(Arc::clone(&self.lookups))
     }
 }
 

@@ -1,0 +1,78 @@
+//! The workspace's single timing door.
+//!
+//! Every wall-clock read in the workspace goes through [`now_ns`] (or the
+//! [`Stopwatch`] built on it) — `cargo run -p xtask -- lint` forbids
+//! `Instant::now()` everywhere outside this crate and `cfg(test)`, the
+//! same single-door treatment `MMDIAG_*` env reads get. One door means
+//! one clock: a span's recorded duration, a `PhaseTelemetry` field, and a
+//! bench measurement can be compared without wondering which time source
+//! each one sampled.
+//!
+//! Readings are monotonic nanoseconds since the first read in the
+//! process (the anchor), so they are directly usable as Chrome
+//! trace-event timestamps and fit `u64` for ~584 years of uptime.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-wide anchor: all readings are offsets from the first call.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process's first clock read.
+pub fn now_ns() -> u64 {
+    anchor().elapsed().as_nanos() as u64
+}
+
+/// A started timer: the `Instant::now()` / `.elapsed()` idiom behind the
+/// single door.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: u64,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: now_ns() }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        now_ns().saturating_sub(self.start)
+    }
+
+    /// The raw start reading (same scale as [`now_ns`]).
+    pub fn start_ns(&self) -> u64 {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readings_are_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        let c = now_ns();
+        assert!(a <= b && b <= c, "{a} {b} {c}");
+    }
+
+    #[test]
+    fn stopwatch_measures_forward_time() {
+        let sw = Stopwatch::start();
+        let mut spin = 0u64;
+        for i in 0..10_000u64 {
+            spin = spin.wrapping_add(i);
+        }
+        assert!(spin > 0);
+        let e1 = sw.elapsed_ns();
+        let e2 = sw.elapsed_ns();
+        assert!(e2 >= e1);
+        assert!(sw.start_ns() <= now_ns());
+    }
+}

@@ -1,0 +1,335 @@
+//! A hand-rolled log-bucketed histogram: power-of-two buckets, atomic
+//! recording, mergeable plain snapshots, quantile estimation.
+//!
+//! Bucket layout: bucket 0 holds exactly the value 0; bucket `k`
+//! (`1..=64`) holds values in `[2^(k-1), 2^k - 1]`. Quantile estimates
+//! return the bucket's upper bound clamped into the observed `[min, max]`
+//! range, so for any recorded distribution the estimate `e` of a true
+//! quantile `t` satisfies `t ≤ e < 2·t` (and `e == t` exactly when `t`
+//! is the observed maximum of its bucket) — the usual log-histogram
+//! guarantee, asserted by the adversarial tests below.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit position of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index of a value: 0 for 0, else `1 + floor(log2(v))`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Smallest value landing in bucket `idx` (0, 1, 2, 4, 8, …).
+pub fn bucket_lower_bound(idx: usize) -> u64 {
+    match idx {
+        0 => 0,
+        k => 1u64 << (k - 1),
+    }
+}
+
+/// Largest value landing in bucket `idx` (0, 1, 3, 7, 15, …).
+pub fn bucket_upper_bound(idx: usize) -> u64 {
+    match idx {
+        0 => 0,
+        64 => u64::MAX,
+        k => (1u64 << k) - 1,
+    }
+}
+
+/// A concurrent log-bucketed histogram. Recording is a handful of relaxed
+/// atomic adds — cheap enough for per-task instrumentation; read it out
+/// with [`Histogram::snapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current state.
+    pub fn snapshot(&self) -> HistogramSummary {
+        let mut buckets = [0u64; BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Immutable histogram state: mergeable, comparable, serialisable by the
+/// exporters. This is the form that crosses crate boundaries (bench
+/// records, `SimReport`), keeping the atomics private to the recorder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values (saturating only at `u64::MAX` totals).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSummary {
+    /// The summary of zero recordings.
+    pub fn empty() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Combine two summaries; associative and commutative with
+    /// [`HistogramSummary::empty`] as identity (tested below).
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i] + other.buckets[i];
+        }
+        let min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        HistogramSummary {
+            count: self.count + other.count,
+            sum: self.sum.saturating_add(other.sum),
+            min,
+            max: self.max.max(other.max),
+            buckets,
+        }
+    }
+
+    /// Mean recorded value, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the rank-`ceil(q·count)` value, clamped into the
+    /// observed `[min, max]`. Within a factor of 2 above the true value by
+    /// construction; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        // Every boundary value v = 2^k starts bucket k+1; v = 2^k - 1 ends
+        // bucket k.
+        for k in 0..63usize {
+            let low = 1u64 << k;
+            assert_eq!(bucket_index(low), k + 1, "2^{k}");
+            assert_eq!(bucket_index(low + (low - 1)), k + 1, "2^{}-1", k + 1);
+            if low > 1 {
+                assert_eq!(bucket_index(low - 1), k, "2^{k}-1");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for idx in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(idx)), idx);
+            assert_eq!(bucket_index(bucket_upper_bound(idx)), idx);
+            assert!(bucket_lower_bound(idx) <= bucket_upper_bound(idx));
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_account_everything() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 8, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the two ones
+        assert_eq!(s.buckets[3], 1); // 7
+        assert_eq!(s.buckets[4], 1); // 8
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSummary::empty());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    fn summarise(values: &[u64]) -> HistogramSummary {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative_with_identity() {
+        let a = summarise(&[1, 2, 3, 100]);
+        let b = summarise(&[0, 0, 7]);
+        let c = summarise(&[u64::MAX, 42]);
+        let abc1 = a.merge(&b).merge(&c);
+        let abc2 = a.merge(&b.merge(&c));
+        assert_eq!(abc1, abc2, "associativity");
+        assert_eq!(a.merge(&b), b.merge(&a), "commutativity");
+        assert_eq!(a.merge(&HistogramSummary::empty()), a, "right identity");
+        assert_eq!(HistogramSummary::empty().merge(&a), a, "left identity");
+        // A merge equals recording the concatenation.
+        let all = summarise(&[1, 2, 3, 100, 0, 0, 7, u64::MAX, 42]);
+        assert_eq!(abc1, all);
+    }
+
+    /// The log-histogram quantile guarantee `t ≤ estimate < 2·t` (and
+    /// `estimate ≤ max`) must hold even on distributions built to stress
+    /// it: heavy point masses at bucket edges, huge dynamic range, a
+    /// single outlier dominating p99.
+    #[test]
+    fn p99_on_adversarial_distributions_stays_within_a_factor_of_two() {
+        let cases: Vec<Vec<u64>> = vec![
+            // 99 tiny values and one huge one: p99 rank lands on the tiny.
+            {
+                let mut v = vec![3u64; 99];
+                v.push(u64::MAX / 2);
+                v
+            },
+            // 100 values at a power-of-two boundary exactly.
+            vec![1024; 100],
+            // One below, one at, one above a boundary, many times over.
+            (0..34).flat_map(|_| [1023u64, 1024, 1025]).collect(),
+            // Geometric sweep across the whole range.
+            (0..63).map(|k| 1u64 << k).collect(),
+            // All zeros except a tail of maxima.
+            {
+                let mut v = vec![0u64; 990];
+                v.extend([u64::MAX; 10]);
+                v
+            },
+        ];
+        for values in cases {
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let s = summarise(&values);
+            for q in [0.5, 0.9, 0.99] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let truth = sorted[rank - 1];
+                let est = s.quantile(q);
+                assert!(est >= truth, "q={q} est {est} < truth {truth}");
+                assert!(est <= s.max, "q={q} est {est} > max {}", s.max);
+                if let Some(ratio) = est.checked_div(truth) {
+                    assert!(
+                        ratio < 2 || est == truth,
+                        "q={q} est {est} not within 2x of {truth}"
+                    );
+                } else {
+                    // truth == 0 lives in bucket 0, whose upper bound is 0 —
+                    // but clamping to min can only raise it to min == 0 here.
+                    assert!(est == 0 || s.min > 0, "q={q} est {est}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_clamped_into_observed_range() {
+        // Bucket upper bound (2047) exceeds the observed max (1500): the
+        // estimate must report 1500, never a value that was not possible.
+        let s = summarise(&[1500, 1500, 1500]);
+        assert_eq!(s.quantile(0.99), 1500);
+        assert_eq!(s.quantile(0.0), 1500);
+        let s = summarise(&[9]);
+        assert_eq!(s.p50(), 9);
+        assert_eq!(s.p99(), 9);
+    }
+}

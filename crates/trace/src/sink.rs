@@ -1,0 +1,380 @@
+//! Spans, events, per-thread ring buffers and the session-owned sink.
+//!
+//! A [`Tracer`] is a cheap-to-clone handle that is either *disabled* —
+//! the zero-cost default: recording is a single `Option` check and no
+//! event storage exists at all — or backed by a shared [`TraceSink`]
+//! of per-thread ring buffers. Each recording thread writes into its own
+//! shard (selected by a process-unique small thread id), so the shard
+//! lock is never contended in steady state and a push never waits on
+//! another thread; a full ring overwrites its oldest event and counts
+//! the loss, so tracing can never stall or OOM the traced workload.
+//!
+//! Span guards sample the monotonic clock at construction and on
+//! `finish`/drop, and [`Span::finish`] hands the elapsed nanoseconds
+//! back to the caller — `PhaseTelemetry` stores exactly the value the
+//! trace records, which is what makes the report-vs-trace equality
+//! tests exact rather than approximate.
+
+use crate::clock;
+use crate::metrics::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One recorded span or instant event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Static event name — the small fixed key set keeps events `Copy`
+    /// and the ring buffer allocation-free.
+    pub name: &'static str,
+    /// Static category (Chrome trace `cat`): `"phase"`, `"task"`, ….
+    pub cat: &'static str,
+    /// Start, monotonic nanoseconds ([`clock::now_ns`] scale).
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instant events).
+    pub dur_ns: u64,
+    /// Small process-unique id of the recording thread.
+    pub tid: u64,
+    /// One free attribute (lookup counts, sizes, …); exported as
+    /// `args.value`.
+    pub value: u64,
+}
+
+/// Sizing of a [`Tracer`]'s ring buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Shards (≈ concurrent recording threads before two share a lock).
+    pub shards: usize,
+    /// Events each shard retains before overwriting its oldest.
+    pub shard_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            shards: 16,
+            shard_capacity: 16 * 1024,
+        }
+    }
+}
+
+/// A fixed-capacity overwrite-oldest event buffer.
+#[derive(Debug)]
+struct Ring {
+    slots: Vec<TraceEvent>,
+    /// Next slot to overwrite once `slots.len() == capacity`.
+    next: usize,
+    capacity: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            slots: Vec::with_capacity(capacity),
+            next: 0,
+            capacity,
+        }
+    }
+
+    /// Push, returning `true` when an older event was overwritten.
+    fn push(&mut self, ev: TraceEvent) -> bool {
+        if self.slots.len() < self.capacity {
+            self.slots.push(ev);
+            false
+        } else {
+            self.slots[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+            true
+        }
+    }
+
+    /// Drain in recording order (oldest first).
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.next..]);
+        out.extend_from_slice(&self.slots[..self.next]);
+        self.slots.clear();
+        self.next = 0;
+        out
+    }
+}
+
+/// The session-owned event store behind an enabled [`Tracer`].
+#[derive(Debug)]
+pub struct TraceSink {
+    shards: Vec<Mutex<Ring>>,
+    dropped: AtomicU64,
+    metrics: MetricsRegistry,
+}
+
+impl TraceSink {
+    fn new(cfg: TraceConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        let capacity = cfg.shard_capacity.max(1);
+        TraceSink {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Ring::new(capacity)))
+                .collect(),
+            dropped: AtomicU64::new(0),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        let shard = (ev.tid % self.shards.len() as u64) as usize;
+        if self.shards[shard].lock().unwrap().push(ev) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Small dense per-thread ids (1, 2, 3, …) — Chrome trace `tid`s that
+/// stay readable, unlike hashed `std::thread::ThreadId`s.
+pub fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Handle to a tracing session; clone freely (both states are a pointer
+/// copy). The default is [`Tracer::disabled`].
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    sink: Option<Arc<TraceSink>>,
+}
+
+impl Tracer {
+    /// A tracer recording into a fresh sink sized by `cfg`.
+    pub fn new(cfg: TraceConfig) -> Self {
+        Tracer {
+            sink: Some(Arc::new(TraceSink::new(cfg))),
+        }
+    }
+
+    /// The no-op tracer: spans still measure (callers need the elapsed
+    /// time for telemetry either way) but nothing is stored — recording
+    /// is one `Option` check.
+    pub fn disabled() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// Whether events are being retained.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Start a span; it records when finished or dropped.
+    pub fn span(&self, cat: &'static str, name: &'static str) -> Span<'_> {
+        Span {
+            tracer: self,
+            cat,
+            name,
+            start_ns: clock::now_ns(),
+            value: 0,
+            armed: true,
+        }
+    }
+
+    /// Record an instant event carrying `value`.
+    pub fn event(&self, cat: &'static str, name: &'static str, value: u64) {
+        if self.sink.is_some() {
+            self.record(TraceEvent {
+                name,
+                cat,
+                start_ns: clock::now_ns(),
+                dur_ns: 0,
+                tid: current_tid(),
+                value,
+            });
+        }
+    }
+
+    /// Record a pre-built event (no-op when disabled).
+    pub fn record(&self, ev: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(ev);
+        }
+    }
+
+    /// The tracer's metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.sink.as_deref().map(|s| &s.metrics)
+    }
+
+    /// Events overwritten because a ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.sink
+            .as_deref()
+            .map_or(0, |s| s.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Drain every shard, returning all retained events ordered by
+    /// `(start_ns, tid)`. The sink is empty afterwards; metrics are
+    /// unaffected.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let Some(sink) = &self.sink else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for shard in &sink.shards {
+            out.extend(shard.lock().unwrap().drain());
+        }
+        out.sort_by_key(|e| (e.start_ns, e.tid));
+        out
+    }
+}
+
+/// An in-flight span: measures from construction to [`Span::finish`] (or
+/// drop), then records one [`TraceEvent`] if the tracer is enabled.
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    cat: &'static str,
+    name: &'static str,
+    start_ns: u64,
+    value: u64,
+    armed: bool,
+}
+
+impl Span<'_> {
+    /// Attach the event's free attribute (e.g. a lookup delta).
+    pub fn set_value(&mut self, v: u64) {
+        self.value = v;
+    }
+
+    fn close(&mut self) -> u64 {
+        self.armed = false;
+        let dur_ns = clock::now_ns().saturating_sub(self.start_ns);
+        self.tracer.record(TraceEvent {
+            name: self.name,
+            cat: self.cat,
+            start_ns: self.start_ns,
+            dur_ns,
+            tid: current_tid(),
+            value: self.value,
+        });
+        dur_ns
+    }
+
+    /// Stop the span, record it, and return the elapsed nanoseconds —
+    /// the *same* number the trace retains, so telemetry derived from
+    /// this return value is exactly consistent with the trace.
+    pub fn finish(mut self) -> u64 {
+        self.close()
+    }
+
+    /// [`Span::finish`] with the attribute set in the same call.
+    pub fn finish_with_value(mut self, v: u64) -> u64 {
+        self.value = v;
+        self.close()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, start: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            cat: "t",
+            start_ns: start,
+            dur_ns: 1,
+            tid: current_tid(),
+            value: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_measures_but_stores_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let sp = t.span("phase", "probe");
+        let ns = sp.finish();
+        let _ = ns; // elapsed is still usable
+        t.event("x", "y", 3);
+        assert!(t.drain().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.metrics().is_none());
+    }
+
+    #[test]
+    fn spans_record_on_finish_and_on_drop() {
+        let t = Tracer::new(TraceConfig::default());
+        let ns = t.span("phase", "probe").finish_with_value(42);
+        {
+            let _guard = t.span("phase", "grow");
+        }
+        let events = t.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "probe");
+        assert_eq!(events[0].value, 42);
+        assert_eq!(events[0].dur_ns, ns);
+        assert_eq!(events[1].name, "grow");
+        assert!(events[0].start_ns <= events[1].start_ns);
+        // Drained means gone.
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_and_counts_drops() {
+        let t = Tracer::new(TraceConfig {
+            shards: 1,
+            shard_capacity: 4,
+        });
+        for i in 0..10u64 {
+            t.record(ev("e", i));
+        }
+        assert_eq!(t.dropped(), 6);
+        let events = t.drain();
+        assert_eq!(events.len(), 4);
+        let starts: Vec<u64> = events.iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, vec![6, 7, 8, 9], "newest four retained in order");
+    }
+
+    #[test]
+    fn drain_merges_shards_sorted_by_start() {
+        let t = Tracer::new(TraceConfig {
+            shards: 4,
+            shard_capacity: 8,
+        });
+        // Force distinct shards by synthesising tids.
+        for (tid, start) in [(0u64, 5u64), (1, 3), (2, 4), (3, 1)] {
+            t.record(TraceEvent {
+                name: "e",
+                cat: "t",
+                start_ns: start,
+                dur_ns: 0,
+                tid,
+                value: 0,
+            });
+        }
+        let starts: Vec<u64> = t.drain().iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn tids_are_small_and_stable_per_thread() {
+        let a = current_tid();
+        let b = current_tid();
+        assert_eq!(a, b);
+        assert!(a >= 1);
+    }
+
+    #[test]
+    fn metrics_live_on_the_sink() {
+        let t = Tracer::new(TraceConfig::default());
+        t.metrics().unwrap().counter("c").add(5);
+        let snap = t.metrics().unwrap().snapshot();
+        assert_eq!(snap.len(), 1);
+    }
+}

@@ -370,6 +370,27 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
         }
     }
 
+    // Pass: wall-clock reads stay behind the `mmdiag_trace::clock` door.
+    // Only the trace crate may call `Instant::now` — everything else times
+    // through `now_ns()` / `Stopwatch`, so the span exactness contract
+    // (the trace *is* the telemetry) has a single clock to be exact
+    // against. `#[cfg(test)]` modules and integration-test files are
+    // test code, not production timing, and may time freely.
+    let is_test_file = rel.starts_with("tests/") || rel.contains("/tests/");
+    if !rel.starts_with("crates/trace/") && !is_test_file {
+        for (idx, line) in code_lines.iter().enumerate() {
+            if !mask[idx] && find_token(line, "Instant::now").is_some() {
+                findings.push(at(
+                    idx,
+                    "instant-single-door",
+                    "`Instant::now` outside `crates/trace` — read time through \
+                     `mmdiag_trace::clock` (`now_ns()` / `Stopwatch::start()`)"
+                        .into(),
+                ));
+            }
+        }
+    }
+
     // Pass: the implicit scale path never materialises a CSR.
     if rel.starts_with("crates/implicit/src/") {
         for (idx, line) in code_lines.iter().enumerate() {
@@ -656,6 +677,25 @@ mod tests {
         );
         // Inside the executor it is the whole point.
         assert!(lint_source("crates/exec/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_now_outside_the_trace_clock_is_flagged() {
+        let src = "fn f() {\n    let t0 = std::time::Instant::now();\n}\n";
+        let found = lint_source("crates/bench/src/quick.rs", src);
+        assert_eq!(passes(&found), vec!["instant-single-door"]);
+        assert_eq!(found[0].line, 2);
+        // The one sanctioned door.
+        assert!(lint_source("crates/trace/src/clock.rs", src).is_empty());
+        // `#[cfg(test)]` modules may time freely.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() {\n        \
+                         let t0 = std::time::Instant::now();\n    }\n}\n";
+        assert!(lint_source("crates/core/src/session.rs", test_only).is_empty());
+        // Integration-test files are test code too.
+        assert!(lint_source("crates/exec/tests/model.rs", src).is_empty());
+        // Prose about the token does not count.
+        let doc = "//! Wraps Instant::now behind one door.\nfn g() {}\n";
+        assert!(lint_source("crates/core/src/session.rs", doc).is_empty());
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub use mmdiag_exec as exec;
 pub use mmdiag_implicit as implicit;
 pub use mmdiag_syndrome as syndrome;
 pub use mmdiag_topology as topology;
+pub use mmdiag_trace as trace;
 
 pub use mmdiag_core::{
     BackendPolicy, Certificate, DiagnosisError, DiagnosisReport, PhaseTelemetry,

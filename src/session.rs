@@ -60,8 +60,8 @@ use mmdiag_distsim::{simulate_unchecked, FaultTimeline, LatencyModel, SimError, 
 use mmdiag_implicit::ImplicitTopology;
 use mmdiag_syndrome::{FaultSet, OnDemandOracle, OracleSyndrome, SyndromeSource, TesterBehavior};
 use mmdiag_topology::{Cached, NodeId, Partitionable};
+use mmdiag_trace::{TraceConfig, Tracer};
 use std::sync::OnceLock;
-use std::time::Instant;
 
 /// Where a session's topology comes from: a caller-borrowed instance, or
 /// an owned materialised / implicit representation. One abstraction in
@@ -271,6 +271,10 @@ pub struct Diagnoser<'g> {
     mode: RunMode,
     fault_bound: Option<usize>,
     check_preconditions: bool,
+    /// The session's trace handle: disabled by default (recording costs
+    /// one `Option` check), enabled by [`Diagnoser::trace`] or
+    /// process-wide by the `MMDIAG_TRACE` knob.
+    tracer: Tracer,
     /// Lazily-built workspace pool shared by every call on this session —
     /// the amortisation `diagnose_batch` used to rebuild per call.
     ws: OnceLock<WorkspacePool>,
@@ -286,6 +290,13 @@ impl<'g> Diagnoser<'g> {
 
     /// A session over an owned [`TopologySource`].
     pub fn from_source(topology: TopologySource<'g>) -> Self {
+        // The MMDIAG_TRACE knob (read once through the exec config door)
+        // turns tracing on for every session in the process.
+        let tracer = if mmdiag_exec::config::knobs().trace {
+            Tracer::new(TraceConfig::default())
+        } else {
+            Tracer::disabled()
+        };
         Diagnoser {
             topology,
             backend: BackendPolicy::Sequential,
@@ -293,6 +304,7 @@ impl<'g> Diagnoser<'g> {
             mode: RunMode::InProcess,
             fault_bound: None,
             check_preconditions: true,
+            tracer,
             ws: OnceLock::new(),
         }
     }
@@ -387,6 +399,26 @@ impl<'g> Diagnoser<'g> {
         self.run_mode(RunMode::Simulated(latency))
     }
 
+    // --- tracing --------------------------------------------------------
+
+    /// Record a structured trace of every call on this session: one span
+    /// per diagnosis phase (probe / certify / grow) plus verification
+    /// spans, buffered in ring buffers sized by `cfg`. Drain through
+    /// [`Diagnoser::tracer`] (`drain()` + `mmdiag_trace::export`) —
+    /// the recorded phase durations and lookup counts are exactly the
+    /// report's [`PhaseTelemetry`](mmdiag_core::PhaseTelemetry) values.
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.tracer = Tracer::new(cfg);
+        self
+    }
+
+    /// The session's trace handle (clone to keep draining after the
+    /// session is dropped). Disabled unless [`Diagnoser::trace`] was
+    /// called or `MMDIAG_TRACE` is set.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     // --- bound / preconditions ------------------------------------------
 
     /// Override the family's canonical fault bound.
@@ -407,7 +439,20 @@ impl<'g> Diagnoser<'g> {
         let mut opts = SessionOptions::default();
         opts.fault_bound = self.fault_bound;
         opts.check_preconditions = self.check_preconditions;
+        opts.tracer = self.tracer.clone();
         opts
+    }
+
+    /// When tracing, adopt the syndrome's own lookup counter as the
+    /// session's `oracle.lookups` metric — the exported metric and the
+    /// report's `lookups_used` then read the *same* atomic cell.
+    fn adopt_lookup_counter<S>(&self, s: &S)
+    where
+        S: SyndromeSource + ?Sized,
+    {
+        if let (Some(metrics), Some(counter)) = (self.tracer.metrics(), s.lookup_counter()) {
+            metrics.register_counter("oracle.lookups", counter);
+        }
     }
 
     fn bound(&self) -> usize {
@@ -459,6 +504,7 @@ impl<'g> Diagnoser<'g> {
             ));
         }
         let g = self.topology.view();
+        self.adopt_lookup_counter(s);
         let mut report = session::run_with(g, s, self.backend, &self.opts(), Some(self.ws_pool()))?;
         report.verification =
             self.verify_claim(s, &report.diagnosis.faults, report.diagnosis.certified_part);
@@ -697,7 +743,7 @@ impl<'g> Diagnoser<'g> {
                 samples_per_part,
                 seed,
             } => {
-                let t0 = Instant::now();
+                let span = self.tracer.span("verify", "sampled");
                 let check = sampled_check(
                     g,
                     s,
@@ -713,16 +759,16 @@ impl<'g> Diagnoser<'g> {
                     disagreements: check.disagreements.len(),
                     certificate_ok: check.certificate_ok,
                     agree: check.agree,
-                    nanos: t0.elapsed().as_nanos(),
+                    nanos: u128::from(span.finish_with_value(check.checked_tests)),
                 }
             }
             VerificationPolicy::FullBaseline => {
-                let t0 = Instant::now();
+                let span = self.tracer.span("verify", "full_baseline");
                 match diagnose_naive(g, s, self.bound()) {
                     Ok(base) => VerificationVerdict::FullBaseline {
                         lookups: base.lookups_used,
                         agree: base.faults == claimed_faults,
-                        nanos: t0.elapsed().as_nanos(),
+                        nanos: u128::from(span.finish_with_value(base.lookups_used)),
                     },
                     // An erroring baseline is "could not check", not a
                     // refutation — keep the two distinguishable.
@@ -761,6 +807,67 @@ mod tests {
             report.verification,
             VerificationVerdict::Unverified
         ));
+    }
+
+    #[test]
+    fn traced_session_trace_matches_report_telemetry_exactly() {
+        use mmdiag_trace::{MetricValue, TraceSummary};
+        let g = Hypercube::new(7);
+        let s = OracleSyndrome::new(
+            FaultSet::new(128, &[3, 64, 90]),
+            TesterBehavior::Random { seed: 5 },
+        );
+        let session = Diagnoser::new(&g)
+            .trace(TraceConfig::default())
+            .verify_sampled(2, 11);
+        let report = session.run(&s).unwrap();
+        let tracer = session.tracer().clone();
+        let events = tracer.drain();
+        let summary = TraceSummary::from_events(&events, tracer.dropped());
+        // Exact agreement, not approximate: the phase spans *are* the
+        // telemetry.
+        assert_eq!(summary.probe_nanos, report.telemetry.probe_nanos);
+        assert_eq!(summary.certify_nanos, report.telemetry.certify_nanos);
+        assert_eq!(summary.grow_nanos, report.telemetry.grow_nanos);
+        assert_eq!(summary.probe_lookups, report.telemetry.probe_lookups);
+        assert_eq!(summary.grow_lookups, report.telemetry.grow_lookups);
+        // The verification span rode along.
+        match report.verification {
+            VerificationVerdict::Sampled {
+                nanos,
+                checked_tests,
+                ..
+            } => {
+                assert_eq!(summary.total_ns("sampled"), nanos);
+                assert_eq!(summary.value_sum("sampled"), checked_tests);
+            }
+            ref other => panic!("expected a sampled verdict, got {other:?}"),
+        }
+        // The oracle's own lookup counter is the exported metric — one
+        // cell, not two tallies.
+        let metrics = tracer.metrics().unwrap().snapshot();
+        let oracle = metrics
+            .iter()
+            .find(|m| m.name == "oracle.lookups")
+            .expect("counting source registered");
+        assert_eq!(oracle.value, MetricValue::Counter(s.lookups()));
+    }
+
+    #[test]
+    fn untraced_session_records_nothing() {
+        let g = Hypercube::new(7);
+        let s = OracleSyndrome::new(FaultSet::new(128, &[5]), TesterBehavior::AllZero);
+        let session = Diagnoser::new(&g);
+        let report = session.run(&s).unwrap();
+        assert!(report.telemetry.probe_nanos > 0, "telemetry still measured");
+        // The default session honours the process-wide MMDIAG_TRACE knob.
+        assert_eq!(
+            session.tracer().is_enabled(),
+            mmdiag_exec::config::knobs().trace
+        );
+        if !session.tracer().is_enabled() {
+            assert!(session.tracer().drain().is_empty());
+        }
     }
 
     #[test]
