@@ -55,6 +55,16 @@
 //! ([`calibrate_cutover_in`]) keeps parsing both generations, so cutover
 //! recalibration works across the v1→v2 trajectory boundary.
 //!
+//! Since ISSUE 8 the unrestricted growth sweep is frontier-parallel on
+//! the pool (above the `MMDIAG_GROW_CUTOVER`-tunable node cutover, on
+//! sorted-adjacency representations), which opens the **`--xxlarge`**
+//! axis: Q_25, Q^3_17 and Q_27 (134 217 728 nodes) through the same
+//! slimmed [`run_scale_cell`] protocol. Scale cells now record the
+//! `"phases"` of the *auto* leg — the production pooled path with the
+//! frontier sweep — and every record's `"phases"` object gains a
+//! `"grow_rounds"` array with the per-frontier-round
+//! frontier/accepted/lookup/time split.
+//!
 //! Criterion is not available in the offline build environment; the
 //! `benches/sweep.rs` target (`harness = false`) and the `mmdiag-bench`
 //! binary both drive the sweep below with plain wall-clock timing.
@@ -93,6 +103,25 @@ pub const TIMING_REPS: usize = 3;
 /// run the *identical* code path, so anything beyond that is measurement
 /// noise, not a regression.
 pub const REGRESSION_TOLERANCE: f64 = 1.10;
+
+/// Absolute grace on the `no_regression` verdict, alongside the relative
+/// [`REGRESSION_TOLERANCE`]: one scheduler preemption costs tens of
+/// microseconds regardless of cell size, so on microsecond-scale
+/// sub-cutover cells a min-over-reps floor can sit a whole quantum above
+/// the other leg's without any code-path difference (both legs run the
+/// identical sequential driver there). 50 µs is far below the 10%
+/// relative band everywhere a genuine auto-dispatch regression could
+/// register — any cell whose 10% band is tighter than this runs in under
+/// half a millisecond.
+pub const REGRESSION_NOISE_FLOOR_NANOS: u128 = 50_000;
+
+/// The `no_regression` verdict shared by the timing loop's early-exit
+/// and the recorded flag: within 10% of the driver leg, or within one
+/// scheduler quantum of it.
+fn within_regression_tolerance(auto_nanos: u128, driver_nanos: u128) -> bool {
+    (auto_nanos as f64) <= (driver_nanos as f64) * REGRESSION_TOLERANCE
+        || auto_nanos <= driver_nanos + REGRESSION_NOISE_FLOOR_NANOS
+}
 
 /// A named benchmark instance. The topology is a trait object — every
 /// consumer is already generic over `Partitionable + ?Sized`, so CSR
@@ -253,6 +282,21 @@ pub fn xlarge_catalog() -> Vec<Instance> {
     ]
 }
 
+/// The 10⁷–10⁸-node `--xxlarge` axis, smallest first (the `--quick` smoke
+/// leg runs only the first entry). Same slimmed [`run_scale_cell`]
+/// protocol as `--xlarge` — implicit adjacency, streaming syndromes,
+/// sampled verification, materialisation guard — at the sizes the
+/// frontier-parallel growth sweep exists for. All three use the certified
+/// constructors: `Q_27`'s default partition rule would pick subcubes whose
+/// probe trees cannot certify fault bound 27.
+pub fn xxlarge_catalog() -> Vec<Instance> {
+    vec![
+        Instance::implicit_scale("hypercube", Hypercube::new_certified(25)), // 33 554 432 nodes
+        Instance::implicit_scale("kary", KAryNCube::new_certified(3, 17)),   // 129 140 163 nodes
+        Instance::implicit_scale("hypercube", Hypercube::new_certified(27)), // 134 217 728 nodes
+    ]
+}
+
 /// Wall time of one strided-search leg.
 #[derive(Clone, Debug)]
 pub struct ParallelLeg {
@@ -383,7 +427,7 @@ pub struct RunRecord {
 }
 
 /// Where `--profile` writes its per-cell Chrome traces (directory derived
-/// from `--out`: `BENCH_5.json` → `BENCH_5-traces/`).
+/// from `--out`: `BENCH_6.json` → `BENCH_6-traces/`).
 #[derive(Clone, Debug)]
 pub struct ProfileConfig {
     /// Directory receiving one `<seq>-<instance>-….trace.json` per cell.
@@ -544,8 +588,7 @@ pub fn run_cell_opts(
     let mut phases = PhaseTelemetry::default();
     let mut auto = None;
     for pair in 0..max_pairs {
-        if pair >= min_pairs && (auto_nanos as f64) <= (driver_nanos as f64) * REGRESSION_TOLERANCE
-        {
+        if pair >= min_pairs && within_regression_tolerance(auto_nanos, driver_nanos) {
             break;
         }
         let t0 = Stopwatch::start();
@@ -575,7 +618,7 @@ pub fn run_cell_opts(
         semantically_equal(&auto.diagnosis, &drv) && semantically_equal(&pooled.diagnosis, &drv);
     assert!(backend_agree, "{}: backend legs disagree", g.name());
     let auto_no_regression = g.node_count() >= sequential_cutover()
-        || (auto_nanos as f64) <= (driver_nanos as f64) * REGRESSION_TOLERANCE;
+        || within_regression_tolerance(auto_nanos, driver_nanos);
 
     let mut parallel = Vec::with_capacity(THREAD_SWEEP.len());
     let mut par_agree = true;
@@ -742,11 +785,17 @@ fn sampled_leg_from(verdict: &VerificationVerdict, instance: String) -> SampledL
 }
 
 /// One `--xlarge` cell: the slimmed measurement protocol for 10⁶⁺-node
-/// implicit instances. One timed sequential-driver run, one timed run on
-/// the auto backend (pooled at these sizes unless the calibrated cutover
-/// says otherwise), the sampled spot-checker — and a
-/// [`MaterialisationGuard`] proving no `Cached::new` happened anywhere in
-/// the cell. Syndromes stream from the `O(|F|)`-state [`OnDemandOracle`].
+/// implicit instances. A timed sequential-driver leg, a timed leg on the
+/// auto backend (pooled at these sizes unless the calibrated cutover says
+/// otherwise), the sampled spot-checker — and a [`MaterialisationGuard`]
+/// proving no `Cached::new` happened anywhere in the cell. Syndromes
+/// stream from the `O(|F|)`-state [`OnDemandOracle`].
+///
+/// Timing follows the workspace's min-over-reps protocol where it is
+/// affordable: cells up to `2^24` nodes run [`TIMING_REPS`] reps per leg
+/// and record the best (diagnosis determinism makes every rep's *output*
+/// identical, so only the clock varies); larger cells run once — a Q_27
+/// rep is minutes, and scheduler noise is amortised at that length anyway.
 pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehavior) -> RunRecord {
     assert!(inst.scale, "run_scale_cell is the --xlarge protocol");
     let g = inst.graph.as_ref();
@@ -754,14 +803,27 @@ pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehav
     let s = OnDemandOracle::new(g.node_count(), members, behavior);
     let seq_session = Diagnoser::new(g);
     let auto_session = Diagnoser::new(g).auto();
+    let reps = if g.node_count() <= 1 << 24 {
+        TIMING_REPS
+    } else {
+        1
+    };
 
-    let t0 = Stopwatch::start();
-    let report = seq_session
-        .run(&s)
-        .unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
-    let driver_nanos = u128::from(t0.elapsed_ns());
-    let drv = report.diagnosis;
-    let phases = report.telemetry;
+    let mut driver_nanos = u128::MAX;
+    let mut drv = None;
+    for _ in 0..reps {
+        s.reset_lookups();
+        let t0 = Stopwatch::start();
+        let report = seq_session
+            .run(&s)
+            .unwrap_or_else(|e| panic!("{}: driver failed: {e}", g.name()));
+        let nanos = u128::from(t0.elapsed_ns());
+        if nanos < driver_nanos {
+            driver_nanos = nanos;
+            drv = Some(report.diagnosis);
+        }
+    }
+    let drv = drv.expect("at least one driver rep");
     assert_eq!(
         drv.faults,
         s.planted_members(),
@@ -770,17 +832,32 @@ pub fn run_scale_cell(inst: &Instance, members: &[NodeId], behavior: TesterBehav
     );
     let driver_lookups = drv.lookups_used;
 
-    s.reset_lookups();
-    let t0 = Stopwatch::start();
-    let auto = auto_session
-        .run(&s)
-        .unwrap_or_else(|e| panic!("{}: auto backend failed: {e}", g.name()));
-    let auto_nanos = u128::from(t0.elapsed_ns());
+    let mut auto_nanos = u128::MAX;
+    let mut auto = None;
+    for _ in 0..reps {
+        s.reset_lookups();
+        let t0 = Stopwatch::start();
+        let report = auto_session
+            .run(&s)
+            .unwrap_or_else(|e| panic!("{}: auto backend failed: {e}", g.name()));
+        let nanos = u128::from(t0.elapsed_ns());
+        if nanos < auto_nanos {
+            auto_nanos = nanos;
+            auto = Some(report);
+        }
+    }
+    let auto = auto.expect("at least one auto rep");
     assert!(
         semantically_equal(&auto.diagnosis, &drv),
         "{}: auto backend disagrees",
         g.name()
     );
+    // The recorded phases are the *production* path's: at these sizes the
+    // auto leg runs pooled with the frontier-parallel growth sweep, so its
+    // `grow_nanos` (and per-round `grow_rounds`) are what the trajectory
+    // comparison across BENCH files should track, not the sequential
+    // reference leg's.
+    let phases = auto.telemetry.clone();
 
     let verification = Diagnoser::new(g)
         .verify_sampled(samples_per_part(), 0x51AE ^ members.len() as u64)
@@ -1401,17 +1478,32 @@ pub fn to_json(
             None => "null".to_string(),
         };
         // v2 additions: the session's per-phase telemetry and the
-        // verification verdict of this cell.
+        // verification verdict of this cell. `grow_rounds` (additive key)
+        // is the frontier-parallel sweep's per-round split: empty on cells
+        // the sequential growth tail served.
+        let rounds: Vec<String> = r
+            .phases
+            .grow_rounds
+            .iter()
+            .map(|round| {
+                format!(
+                    "{{\"frontier\": {}, \"accepted\": {}, \"lookups\": {}, \
+                     \"round_nanos\": {}, \"parallel\": {}}}",
+                    round.frontier, round.accepted, round.lookups, round.nanos, round.parallel
+                )
+            })
+            .collect();
         let phases = format!(
             concat!(
                 "{{\"probe_nanos\": {}, \"certify_nanos\": {}, \"grow_nanos\": {}, ",
-                "\"probe_lookups\": {}, \"grow_lookups\": {}}}"
+                "\"probe_lookups\": {}, \"grow_lookups\": {}, \"grow_rounds\": [{}]}}"
             ),
             r.phases.probe_nanos,
             r.phases.certify_nanos,
             r.phases.grow_nanos,
             r.phases.probe_lookups,
             r.phases.grow_lookups,
+            rounds.join(", "),
         );
         let verification = verification_json(&r.verification);
         // The `--profile` addition — additive key, schema stamp unchanged.
@@ -1737,6 +1829,28 @@ mod tests {
         }
         // Constructing and validating the whole axis must not CSR anything.
         guard.assert_unchanged("xlarge catalog construction");
+    }
+
+    #[test]
+    fn xxlarge_catalog_reaches_1e8_nodes_without_materialising() {
+        let guard = MaterialisationGuard::begin();
+        let catalog = xxlarge_catalog();
+        assert!(catalog
+            .iter()
+            .all(|i| i.scale && i.driver_only && i.implicit));
+        // The axis tops out at Q_27 and holds two 10⁸-node instances.
+        assert_eq!(catalog.last().map(|i| i.graph.node_count()), Some(1 << 27));
+        let big = catalog
+            .iter()
+            .filter(|i| i.graph.node_count() >= 100_000_000)
+            .count();
+        assert!(big >= 2, "need two 10^8-node instances, got {big}");
+        for inst in &catalog {
+            inst.graph
+                .check_partition_preconditions()
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+        guard.assert_unchanged("xxlarge catalog construction");
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! machine-readable trajectory file.
 //!
 //! ```text
-//! mmdiag-bench [--quick] [--large] [--xlarge] [--profile] [--out PATH]
+//! mmdiag-bench [--quick] [--large] [--xlarge] [--xxlarge] [--profile] [--out PATH]
 //!   --quick   one (smallest) instance per family instead of the full
 //!             sweep; also skips the baseline on the largest instance per
 //!             family so the smoke run stays well under ~10 s. With
-//!             --large/--xlarge, caps each scale axis at its single
-//!             smallest instance. MMDIAG_QUICK=1 in the environment means
+//!             --large/--xlarge/--xxlarge, caps each scale axis at its
+//!             single smallest instance. MMDIAG_QUICK=1 in the environment means
 //!             the same thing (the one quick knob shared with the distsim
 //!             property suite).
 //!   --large   extend the catalog with the 10⁵⁺-node scale axis (Q_17,
@@ -24,13 +24,17 @@
 //!             (Q_20…Q_23, Q^3_13, Q^4_11, S_10) — CSR-free adjacency,
 //!             streaming syndromes, sampled cross-check; a
 //!             materialisation guard asserts no Cached copy is built
+//!   --xxlarge extend the catalog with the 10⁷–10⁸-node axis (Q_25,
+//!             Q^3_17, Q_27 — 134 217 728 nodes) served by the
+//!             frontier-parallel growth sweep; same slimmed protocol and
+//!             sampled verification as --xlarge
 //!   --profile run one extra fully observed rep per cell — tracing session
 //!             on an instrumented pool — writing one Chrome trace-event
 //!             file per cell (Perfetto-loadable) into a directory derived
-//!             from --out (BENCH_5.json → BENCH_5-traces/). Every trace is
+//!             from --out (BENCH_6.json → BENCH_6-traces/). Every trace is
 //!             validated as JSON before it is written and its rollups are
 //!             embedded additively in the v2 records under "profile"
-//!   --out     output path (default BENCH_5.json in the working directory)
+//!   --out     output path (default BENCH_6.json in the working directory)
 //! ```
 //!
 //! At startup the binary recalibrates `diagnose_auto`'s sequential cutover
@@ -41,11 +45,11 @@
 
 use mmdiag_bench::{
     calibrate_cutover, distsim_scenarios, full_catalog, large_catalog, small_catalog,
-    sweep_profiled, to_json, xlarge_catalog, ProfileConfig,
+    sweep_profiled, to_json, xlarge_catalog, xxlarge_catalog, ProfileConfig,
 };
 
 /// The trajectory id this binary emits (`BENCH_<pr>`).
-const BENCH_ID: &str = "BENCH_5";
+const BENCH_ID: &str = "BENCH_6";
 
 fn main() {
     // `--quick` and MMDIAG_QUICK=1 are the same knob (parsed once for the
@@ -55,6 +59,7 @@ fn main() {
     let mut quick = mmdiag_exec::knobs().quick;
     let mut large = false;
     let mut xlarge = false;
+    let mut xxlarge = false;
     let mut profile = false;
     let mut out_path = format!("{BENCH_ID}.json");
     let mut args = std::env::args().skip(1);
@@ -63,6 +68,7 @@ fn main() {
             "--quick" => quick = true,
             "--large" => large = true,
             "--xlarge" => xlarge = true,
+            "--xxlarge" => xxlarge = true,
             "--profile" => profile = true,
             "--out" => {
                 out_path = args
@@ -71,7 +77,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: mmdiag-bench [--quick] [--large] [--xlarge] [--profile] [--out PATH]"
+                    "usage: mmdiag-bench [--quick] [--large] [--xlarge] [--xxlarge] \
+                     [--profile] [--out PATH]"
                 );
                 return;
             }
@@ -79,7 +86,7 @@ fn main() {
         }
     }
     // --profile writes one Chrome trace per cell next to the trajectory
-    // file: BENCH_5.json → BENCH_5-traces/.
+    // file: BENCH_6.json → BENCH_6-traces/.
     let profile_cfg = if profile {
         let stem = out_path.strip_suffix(".json").unwrap_or(&out_path);
         let dir = std::path::PathBuf::from(format!("{stem}-traces"));
@@ -117,6 +124,13 @@ fn main() {
         let mut axis = xlarge_catalog();
         if quick {
             axis.truncate(1); // CI smoke: the smallest 10⁶-node cell (Q_20)
+        }
+        catalog.extend(axis);
+    }
+    if xxlarge {
+        let mut axis = xxlarge_catalog();
+        if quick {
+            axis.truncate(1); // CI smoke: the smallest 10⁷-node cell (Q_25)
         }
         catalog.extend(axis);
     }

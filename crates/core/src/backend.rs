@@ -85,6 +85,60 @@ pub fn set_sequential_cutover(nodes: usize) -> usize {
     nodes
 }
 
+/// Default node count below which the pooled driver keeps the sequential
+/// growth tail instead of the frontier-parallel sweep.
+///
+/// The frontier engine pays per-layer pool dispatch plus an O(N/64)
+/// bitset reset per diagnosis; both are noise from ~10⁵ nodes up (where
+/// the sweep saves whole seconds) but real at workstation sizes. Like the
+/// probe cutover this is the *offline fallback*: the live value is
+/// [`grow_cutover`], pinnable via `MMDIAG_GROW_CUTOVER` and recalibrated
+/// by the bench from measured `BENCH_*.json` trajectories.
+pub const GROW_CUTOVER_NODES: usize = 1 << 17;
+
+/// The live grow cutover; 0 means "not yet resolved".
+static GROW_CUTOVER: AtomicUsize = AtomicUsize::new(0);
+
+/// The node count below which the pooled driver currently keeps the
+/// sequential growth tail. Resolution order mirrors
+/// [`sequential_cutover`]: an explicit [`set_grow_cutover`] call, else
+/// `MMDIAG_GROW_CUTOVER` from the environment (read once per process
+/// through [`mmdiag_exec::knobs`]), else [`GROW_CUTOVER_NODES`].
+pub fn grow_cutover() -> usize {
+    match GROW_CUTOVER.load(Ordering::Relaxed) {
+        0 => {
+            let resolved = mmdiag_exec::knobs()
+                .grow_cutover
+                .unwrap_or(GROW_CUTOVER_NODES);
+            // First resolver wins; a concurrent set_grow_cutover that
+            // landed in between is preserved.
+            let _ =
+                GROW_CUTOVER.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+            GROW_CUTOVER.load(Ordering::Relaxed)
+        }
+        n => n,
+    }
+}
+
+/// Override the live grow cutover (e.g. from a measured `BENCH_*.json`
+/// trajectory). A `MMDIAG_GROW_CUTOVER` environment pin takes precedence:
+/// when the operator set one, this call is ignored and the pinned value is
+/// returned. Returns the cutover now in force.
+pub fn set_grow_cutover(nodes: usize) -> usize {
+    assert!(nodes > 0, "grow cutover must be positive");
+    if mmdiag_exec::knobs().grow_cutover.is_some() {
+        return grow_cutover();
+    }
+    GROW_CUTOVER.store(nodes, Ordering::Relaxed);
+    nodes
+}
+
+/// Serialises tests (across this crate's unit-test binary) that mutate
+/// the process-global grow cutover, so they can't race each other or any
+/// test that steers through [`grow_cutover`].
+#[cfg(test)]
+pub(crate) static GROW_KNOB_LOCK: Mutex<()> = Mutex::new(());
+
 /// How a diagnosis should execute.
 #[derive(Clone, Copy)]
 pub enum ExecutionBackend<'p> {
@@ -130,6 +184,7 @@ impl<'p> ExecutionBackend<'p> {
 pub struct WorkspacePool {
     nodes: usize,
     slots: Vec<Mutex<Option<Workspace>>>,
+    grow_slots: Vec<Mutex<Option<crate::grow::GrowScratch>>>,
 }
 
 impl WorkspacePool {
@@ -139,19 +194,39 @@ impl WorkspacePool {
         WorkspacePool {
             nodes,
             slots: (0..workers + 1).map(|_| Mutex::new(None)).collect(),
+            grow_slots: (0..workers + 1).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    fn slot_index(&self, worker: Option<usize>) -> usize {
+        match worker {
+            Some(i) if i < self.slots.len() - 1 => i,
+            _ => self.slots.len() - 1,
         }
     }
 
     /// Run `f` with the workspace slot of `worker` (or the overflow slot
     /// for `None`), creating the workspace on first use.
     pub fn with<R>(&self, worker: Option<usize>, f: impl FnOnce(&mut Workspace) -> R) -> R {
-        let idx = match worker {
-            Some(i) if i < self.slots.len() - 1 => i,
-            _ => self.slots.len() - 1,
-        };
-        let mut guard = self.slots[idx].lock().unwrap();
+        let mut guard = self.slots[self.slot_index(worker)].lock().unwrap();
         let ws = guard.get_or_insert_with(|| Workspace::new(self.nodes));
         f(ws)
+    }
+
+    /// Run `f` with the frontier-growth scratch slot of `worker` (same
+    /// keying as [`WorkspacePool::with`]), creating it on first use. The
+    /// growth bitsets and frontier buffers are the other O(N) scratch a
+    /// diagnosis needs; pooling them here is what keeps a stream of
+    /// `submit_batch` jobs at 10⁶⁺ nodes from re-allocating per job.
+    pub(crate) fn with_grow<R>(
+        &self,
+        worker: Option<usize>,
+        f: impl FnOnce(&mut crate::grow::GrowScratch) -> R,
+    ) -> R {
+        let mut guard = self.grow_slots[self.slot_index(worker)].lock().unwrap();
+        let gs = guard.get_or_insert_with(crate::grow::GrowScratch::new);
+        gs.ensure(self.nodes);
+        f(gs)
     }
 }
 
@@ -316,6 +391,20 @@ mod tests {
         assert_eq!(sequential_cutover(), 2048);
         set_sequential_cutover(SEQUENTIAL_CUTOVER_NODES);
         assert_eq!(sequential_cutover(), SEQUENTIAL_CUTOVER_NODES);
+    }
+
+    #[test]
+    fn grow_cutover_defaults_and_recalibrates() {
+        let _lock = GROW_KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // No MMDIAG_GROW_CUTOVER in the test environment: the default
+        // resolves.
+        assert_eq!(grow_cutover(), GROW_CUTOVER_NODES);
+        // Trajectory calibration moves the live value; restore afterwards
+        // so other tests in this binary see the default again.
+        assert_eq!(set_grow_cutover(1 << 20), 1 << 20);
+        assert_eq!(grow_cutover(), 1 << 20);
+        set_grow_cutover(GROW_CUTOVER_NODES);
+        assert_eq!(grow_cutover(), GROW_CUTOVER_NODES);
     }
 
     #[test]

@@ -60,19 +60,21 @@
 
 pub mod backend;
 pub mod driver;
+mod grow;
 pub mod parallel;
 pub mod session;
 pub mod set_builder;
 pub mod tree;
 
 pub use backend::{
-    diagnose_auto, diagnose_batch, diagnose_with, sequential_cutover, set_sequential_cutover,
-    ExecutionBackend, WorkspacePool, SEQUENTIAL_CUTOVER_NODES,
+    diagnose_auto, diagnose_batch, diagnose_with, grow_cutover, sequential_cutover,
+    set_grow_cutover, set_sequential_cutover, ExecutionBackend, WorkspacePool, GROW_CUTOVER_NODES,
+    SEQUENTIAL_CUTOVER_NODES,
 };
 pub use driver::{diagnose, diagnose_unchecked, Diagnosis, DiagnosisError};
 pub use parallel::diagnose_parallel;
 pub use session::{
-    BackendPolicy, Certificate, DiagnosisReport, PhaseTelemetry, SessionOptions,
+    BackendPolicy, Certificate, DiagnosisReport, GrowRound, PhaseTelemetry, SessionOptions,
     VerificationVerdict,
 };
 pub use set_builder::{

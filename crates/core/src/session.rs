@@ -37,7 +37,7 @@
 //! drained trace agrees with the report exactly.
 
 use crate::driver::{Diagnosis, DiagnosisError};
-use crate::set_builder::{set_builder, set_builder_in_part, SetBuilderOutcome, Workspace};
+use crate::set_builder::{set_builder_in_part, GrowthCore, SetBuilderOutcome, Workspace};
 use crate::tree::SpanningTree;
 use mmdiag_exec::Pool;
 use mmdiag_syndrome::SyndromeSource;
@@ -85,7 +85,7 @@ impl Certificate {
 /// the source's counter, so under pooled execution they attribute shared
 /// atomic increments to the phase in which they landed (the same caveat
 /// as `Diagnosis::lookups_used`).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PhaseTelemetry {
     /// Restricted probe search (all parts probed until the certificate).
     pub probe_nanos: u128,
@@ -99,6 +99,29 @@ pub struct PhaseTelemetry {
     /// Syndrome entries consulted by the growth phase (the sweep reads
     /// adjacency only).
     pub grow_lookups: u64,
+    /// Per-frontier-round breakdown of the growth phase, recorded by the
+    /// frontier-parallel sweep (empty when the sequential tail ran).
+    /// Round lookups partition [`PhaseTelemetry::grow_lookups`] exactly;
+    /// round times nest inside [`PhaseTelemetry::grow_nanos`].
+    pub grow_rounds: Vec<GrowRound>,
+}
+
+/// One frontier round of the growth phase, as recorded by the
+/// frontier-parallel sweep (each round is also a `grow.round` trace
+/// span nested inside the `grow` phase span).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GrowRound {
+    /// Nodes scanned as this round's frontier.
+    pub frontier: usize,
+    /// Nodes accepted into the new layer.
+    pub accepted: usize,
+    /// Syndrome entries consulted during the round.
+    pub lookups: u64,
+    /// Wall time of the round in nanoseconds.
+    pub nanos: u128,
+    /// Whether the round ran on the pool (`false` for the sequential
+    /// prefix layers before the in-growth certificate fires).
+    pub parallel: bool,
 }
 
 impl PhaseTelemetry {
@@ -309,26 +332,22 @@ where
     T: Topology + ?Sized,
     S: SyndromeSource + ?Sized,
 {
-    let full: SetBuilderOutcome = set_builder(g, s, u0, fault_bound, ws);
-    // N(U_r): all-faulty by Theorem 1.
-    let n = g.node_count();
-    let mut in_set = vec![false; n];
-    for &m in &full.members {
-        in_set[m] = true;
-    }
-    let mut fault_flag = vec![false; n];
-    let mut faults = Vec::new();
-    let mut buf = Vec::new();
-    for &m in &full.members {
-        g.neighbors_into(m, &mut buf);
-        for &v in &buf {
-            if !in_set[v] && !fault_flag[v] {
-                fault_flag[v] = true;
-                faults.push(v);
-            }
-        }
-    }
+    // Grow with a reject sink: every disagreeing lookup on a then-unvisited
+    // candidate is recorded, and a node of N(U_r) \ U_r is exactly a
+    // never-visited rejectee (each member is scanned as frontier exactly
+    // once, so every boundary edge gets consulted). This replaces the
+    // historical O(N) full-graph sweep — two `vec![false; n]` per diagnosis
+    // — with an O(|F|·Δ) sort, without touching the growth's lookups.
+    let accept = |_: NodeId| true;
+    let mut rejects: Vec<NodeId> = Vec::new();
+    let mut sink = |v: NodeId| rejects.push(v);
+    let mut core = GrowthCore::start(g, s, u0, fault_bound, &accept, ws, &mut sink);
+    while core.advance_layer(g, s, &accept, ws, &mut sink) {}
+    let full: SetBuilderOutcome = core.finish(s);
+    let mut faults = rejects;
+    faults.retain(|&v| !ws.seen(v));
     faults.sort_unstable();
+    faults.dedup();
     if faults.len() > fault_bound {
         return Err(DiagnosisError::TooManyFaults {
             found: faults.len(),
@@ -398,6 +417,7 @@ where
             grow_nanos,
             probe_lookups,
             grow_lookups,
+            grow_rounds: Vec::new(),
         },
         backend: "sequential",
         verification: VerificationVerdict::Unverified,
@@ -495,22 +515,47 @@ where
     debug_assert_eq!(held_part, part, "captured certificate is the winner's");
     let certify_nanos = u128::from(certify_span.finish());
 
-    // Sequential tail: unrestricted growth from the winning seed + sweep,
-    // on whatever workspace slot belongs to this (usually non-worker)
-    // thread.
+    // Growth tail: frontier-parallel on sorted-adjacency instances past
+    // the calibrated grow cutover, else the sequential sweep on whatever
+    // workspace slot belongs to this (usually non-worker) thread. The two
+    // paths are bit-identical — faults, tree, even the lookup count — so
+    // the gate is purely a constant-factor decision.
     let grow_span = tracer.span(CAT_PHASE, PHASE_GROW);
-    let diagnosis = ws_pool.with(pool.worker_index(), |ws| {
-        grow_and_sweep(
-            g,
-            s,
-            g.representative(part),
-            part,
-            probes.load(Ordering::Relaxed),
-            fault_bound,
-            start_lookups,
-            ws,
-        )
-    })?;
+    let frontier_parallel =
+        g.has_sorted_adjacency() && g.node_count() >= crate::backend::grow_cutover();
+    let (diagnosis, grow_rounds) = if frontier_parallel {
+        ws_pool.with(pool.worker_index(), |ws| {
+            ws_pool.with_grow(pool.worker_index(), |gs| {
+                crate::grow::grow_and_sweep_parallel(
+                    g,
+                    s,
+                    g.representative(part),
+                    part,
+                    probes.load(Ordering::Relaxed),
+                    fault_bound,
+                    start_lookups,
+                    pool,
+                    ws,
+                    gs,
+                    tracer,
+                )
+            })
+        })?
+    } else {
+        let diagnosis = ws_pool.with(pool.worker_index(), |ws| {
+            grow_and_sweep(
+                g,
+                s,
+                g.representative(part),
+                part,
+                probes.load(Ordering::Relaxed),
+                fault_bound,
+                start_lookups,
+                ws,
+            )
+        })?;
+        (diagnosis, Vec::new())
+    };
     let grow_lookups = checked_delta(checked_delta(s.lookups(), start_lookups), probe_lookups);
     let grow_nanos = u128::from(grow_span.finish_with_value(grow_lookups));
 
@@ -523,6 +568,7 @@ where
             grow_nanos,
             probe_lookups,
             grow_lookups,
+            grow_rounds,
         },
         backend: "pooled",
         verification: VerificationVerdict::Unverified,
@@ -750,6 +796,64 @@ mod tests {
         assert_eq!(summary.probe_lookups, report.telemetry.probe_lookups);
         assert_eq!(summary.grow_lookups, report.telemetry.grow_lookups);
         assert_eq!(summary.span_count, 3);
+    }
+
+    #[test]
+    fn pooled_frontier_growth_matches_sequential_and_traces_rounds() {
+        use mmdiag_topology::Cached;
+        use mmdiag_trace::{TraceConfig, TraceSummary, PHASE_GROW_ROUND};
+        let _lock = crate::backend::GROW_KNOB_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let prev = crate::backend::grow_cutover();
+        crate::backend::set_grow_cutover(1);
+        let base = Hypercube::new(7);
+        let g = Cached::new(&base);
+        assert!(g.has_sorted_adjacency());
+        let s = OracleSyndrome::new(
+            FaultSet::new(128, &[3, 64, 90]),
+            TesterBehavior::Random { seed: 1 },
+        );
+        let seq = run_sequential(&g, &s, &SessionOptions::default()).unwrap();
+        let pool = Pool::new(4);
+        let tracer = Tracer::new(TraceConfig::default());
+        s.reset_lookups();
+        let par = run_pooled(&g, &s, &pool, 4, g.driver_fault_bound(), &tracer, None).unwrap();
+        crate::backend::set_grow_cutover(prev);
+        // Bit-identity with the sequential tail, growth accounting
+        // included (growth from the same certified seed is deterministic;
+        // only the probe accounting is scheduling-dependent).
+        assert_eq!(par.diagnosis.faults, seq.diagnosis.faults);
+        assert_eq!(par.diagnosis.certified_part, seq.diagnosis.certified_part);
+        assert_eq!(par.diagnosis.tree.edges(), seq.diagnosis.tree.edges());
+        assert_eq!(par.telemetry.grow_lookups, seq.telemetry.grow_lookups);
+        // Per-round telemetry: rounds partition the grow lookups exactly,
+        // at least one round ran on the pool, and frontier sizes are real.
+        let rounds = &par.telemetry.grow_rounds;
+        assert!(!rounds.is_empty());
+        assert!(rounds.iter().any(|r| r.parallel));
+        assert_eq!(
+            rounds.iter().map(|r| r.lookups).sum::<u64>(),
+            par.telemetry.grow_lookups
+        );
+        assert_eq!(rounds[0].frontier, 1, "round 0 is the level-1 seed scan");
+        assert_eq!(
+            rounds.iter().map(|r| r.accepted).sum::<usize>() + 1,
+            par.diagnosis.healthy_count,
+            "accepted nodes across rounds + the seed = |U_r|"
+        );
+        // The trace agrees with the report exactly: the grow phase span is
+        // untouched by the nested grow.round spans, whose value attributes
+        // sum to the same lookup total and whose time nests inside it.
+        let summary = TraceSummary::from_events(&tracer.drain(), tracer.dropped());
+        assert_eq!(summary.grow_nanos, par.telemetry.grow_nanos);
+        assert_eq!(summary.grow_lookups, par.telemetry.grow_lookups);
+        assert_eq!(
+            summary.value_sum(PHASE_GROW_ROUND),
+            par.telemetry.grow_lookups
+        );
+        assert!(summary.total_ns(PHASE_GROW_ROUND) <= summary.grow_nanos);
+        assert_eq!(summary.span_count, 3 + rounds.len());
     }
 
     #[test]

@@ -47,17 +47,17 @@ use mmdiag_topology::{NodeId, Partitionable, Topology};
 /// reuse one `O(N)` allocation — this is what keeps the whole
 /// probe-every-part driver at `O(Δ·N)` rather than `O(parts · N)`.
 pub struct Workspace {
-    epoch: u32,
-    mark: Vec<u32>,
-    contributed: Vec<u32>,
-    parent: Vec<NodeId>,
+    pub(crate) epoch: u32,
+    pub(crate) mark: Vec<u32>,
+    pub(crate) contributed: Vec<u32>,
+    pub(crate) parent: Vec<NodeId>,
     /// Layer at which a node was attached (valid when `mark` is current).
-    layer: Vec<u32>,
+    pub(crate) layer: Vec<u32>,
     /// Children claimed by a parent in the layer being built.
-    claims: Vec<u32>,
-    frontier: Vec<NodeId>,
-    next_frontier: Vec<NodeId>,
-    nbuf: Vec<NodeId>,
+    pub(crate) claims: Vec<u32>,
+    pub(crate) frontier: Vec<NodeId>,
+    pub(crate) next_frontier: Vec<NodeId>,
+    pub(crate) nbuf: Vec<NodeId>,
 }
 
 impl Workspace {
@@ -76,7 +76,7 @@ impl Workspace {
         }
     }
 
-    fn begin(&mut self) {
+    pub(crate) fn begin(&mut self) {
         // Epoch 0 is "never seen"; wrap by clearing.
         if self.epoch == u32::MAX {
             self.mark.fill(0);
@@ -89,12 +89,12 @@ impl Workspace {
     }
 
     #[inline]
-    fn seen(&self, u: NodeId) -> bool {
+    pub(crate) fn seen(&self, u: NodeId) -> bool {
         self.mark[u] == self.epoch
     }
 
     #[inline]
-    fn visit(&mut self, u: NodeId, parent: NodeId) {
+    pub(crate) fn visit(&mut self, u: NodeId, parent: NodeId) {
         self.mark[u] = self.epoch;
         self.parent[u] = parent;
     }
@@ -166,63 +166,141 @@ where
     S: SyndromeSource + ?Sized,
     F: Fn(NodeId) -> bool,
 {
-    debug_assert!(accept(u0), "seed must lie in the searched subgraph");
-    let start_lookups = s.lookups();
-    ws.begin();
-    ws.visit(u0, u0);
-    let mut members = vec![u0];
-    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-    let mut contributors = 0usize;
-    let mut all_healthy = false;
+    let mut core = GrowthCore::start(g, s, u0, fault_bound, &accept, ws, &mut |_| {});
+    while core.advance_layer(g, s, &accept, ws, &mut |_| {}) {}
+    core.finish(s)
+}
 
-    // --- Level 1: pairs of u0's neighbours (within H), O(Δ²) worst case,
-    // at most C(Δ, 2) syndrome entries.
-    g.neighbors_into(u0, &mut ws.nbuf);
-    ws.nbuf.retain(|&v| accept(v));
-    ws.nbuf.sort_unstable();
-    let candidates = std::mem::take(&mut ws.nbuf);
+/// Incremental driver for the §4.1 growth loop, shared between the
+/// sequential [`set_builder_filtered`] and the frontier-parallel sweep in
+/// `crate::grow` (which runs these sequential layers until the certificate
+/// fires, then hands the remaining layers to the pool mid-loop).
+///
+/// Every syndrome lookup that *disagrees* on a then-unvisited candidate is
+/// reported to the `reject` sink. In an unrestricted run each member is
+/// scanned as frontier exactly once and looks up every still-unvisited
+/// neighbour, so the sink — filtered to never-visited nodes at the end —
+/// reproduces `N(U_r) \ U_r` without the O(N) full-graph sweep the
+/// diagnosis driver used to do. The sequential entry point passes a no-op
+/// sink and keeps its historical behaviour (and lookup counts) exactly.
+pub(crate) struct GrowthCore {
+    pub(crate) u0: NodeId,
+    pub(crate) fault_bound: usize,
+    start_lookups: u64,
+    pub(crate) members: Vec<NodeId>,
+    pub(crate) edges: Vec<(NodeId, NodeId)>,
+    pub(crate) contributors: usize,
+    pub(crate) all_healthy: bool,
+    pub(crate) rounds: usize,
+    pub(crate) cur_layer: u32,
+}
+
+impl GrowthCore {
+    /// Seed the run: `ws.begin()`, then level 1 (pairs of `u0`'s
+    /// neighbours within `H`, O(Δ²) worst case, at most C(Δ, 2) syndrome
+    /// entries). Leaves `U_1 \ {u0}` in `ws.frontier`.
+    pub(crate) fn start<T, S, F, R>(
+        g: &T,
+        s: &S,
+        u0: NodeId,
+        fault_bound: usize,
+        accept: &F,
+        ws: &mut Workspace,
+        reject: &mut R,
+    ) -> Self
+    where
+        T: Topology + ?Sized,
+        S: SyndromeSource + ?Sized,
+        F: Fn(NodeId) -> bool,
+        R: FnMut(NodeId),
     {
-        let mut in_u1 = vec![false; candidates.len()];
-        for i in 0..candidates.len() {
-            for j in (i + 1)..candidates.len() {
-                if in_u1[i] && in_u1[j] {
-                    continue;
+        debug_assert!(accept(u0), "seed must lie in the searched subgraph");
+        let start_lookups = s.lookups();
+        ws.begin();
+        ws.visit(u0, u0);
+        let mut members = vec![u0];
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut contributors = 0usize;
+        let mut all_healthy = false;
+
+        g.neighbors_into(u0, &mut ws.nbuf);
+        ws.nbuf.retain(|&v| accept(v));
+        ws.nbuf.sort_unstable();
+        let candidates = std::mem::take(&mut ws.nbuf);
+        {
+            let mut in_u1 = vec![false; candidates.len()];
+            for i in 0..candidates.len() {
+                for j in (i + 1)..candidates.len() {
+                    if in_u1[i] && in_u1[j] {
+                        continue;
+                    }
+                    if s.lookup(u0, candidates[i], candidates[j]).is_agree() {
+                        in_u1[i] = true;
+                        in_u1[j] = true;
+                    }
                 }
-                if s.lookup(u0, candidates[i], candidates[j]).is_agree() {
-                    in_u1[i] = true;
-                    in_u1[j] = true;
+            }
+            for (idx, &v) in candidates.iter().enumerate() {
+                if in_u1[idx] {
+                    ws.visit(v, u0);
+                    ws.layer[v] = 1;
+                    members.push(v);
+                    edges.push((v, u0));
+                    ws.frontier.push(v);
+                } else {
+                    reject(v);
                 }
             }
         }
-        for (idx, &v) in candidates.iter().enumerate() {
-            if in_u1[idx] {
-                ws.visit(v, u0);
-                ws.layer[v] = 1;
-                members.push(v);
-                edges.push((v, u0));
-                ws.frontier.push(v);
+        ws.nbuf = candidates;
+
+        let mut rounds = 0usize;
+        if !ws.frontier.is_empty() {
+            // u0 contributed to U_1.
+            contributors += 1;
+            ws.contributed[u0] = ws.epoch;
+            rounds = 1;
+            if contributors > fault_bound {
+                all_healthy = true;
             }
         }
-    }
-    ws.nbuf = candidates;
 
-    let mut rounds = 0usize;
-    if !ws.frontier.is_empty() {
-        // u0 contributed to U_1.
-        contributors += 1;
-        ws.contributed[u0] = ws.epoch;
-        rounds = 1;
-        if contributors > fault_bound {
-            all_healthy = true;
+        GrowthCore {
+            u0,
+            fault_bound,
+            start_lookups,
+            members,
+            edges,
+            contributors,
+            all_healthy,
+            rounds,
+            cur_layer: 1,
         }
     }
 
-    // --- Levels i ≥ 2: each frontier node u tests candidates v against its
-    // own parent t(u); at most Δ − 1 entries per frontier node.
-    let mut cur_layer: u32 = 1;
-    while !ws.frontier.is_empty() {
+    /// One level `i ≥ 2`: each frontier node `u` tests candidates `v`
+    /// against its own parent `t(u)`, at most Δ − 1 entries per frontier
+    /// node. Returns `false` when growth is finished (empty frontier or no
+    /// additions), `true` after a flushed layer.
+    pub(crate) fn advance_layer<T, S, F, R>(
+        &mut self,
+        g: &T,
+        s: &S,
+        accept: &F,
+        ws: &mut Workspace,
+        reject: &mut R,
+    ) -> bool
+    where
+        T: Topology + ?Sized,
+        S: SyndromeSource + ?Sized,
+        F: Fn(NodeId) -> bool,
+        R: FnMut(NodeId),
+    {
+        if ws.frontier.is_empty() {
+            return false;
+        }
         ws.next_frontier.clear();
-        cur_layer += 1;
+        self.cur_layer += 1;
         // Deterministic scan order (the spread heuristic below replaces the
         // paper's "least contributing node" tie-break; see module docs).
         ws.frontier.sort_unstable();
@@ -240,8 +318,8 @@ where
                     // parent that already has other children, and u is an
                     // eligible parent with no children yet, move v to u.
                     // Soundness needs the witness test s_u(v, t(u)) = 0.
-                    if !all_healthy
-                        && ws.layer[v] == cur_layer
+                    if !self.all_healthy
+                        && ws.layer[v] == self.cur_layer
                         && ws.claims[ws.parent[v]] > 1
                         && ws.claims[u] == 0
                         && s.lookup(u, v, tu).is_agree()
@@ -254,10 +332,12 @@ where
                 }
                 if s.lookup(u, v, tu).is_agree() {
                     ws.visit(v, u);
-                    ws.layer[v] = cur_layer;
+                    ws.layer[v] = self.cur_layer;
                     ws.claims[u] += 1;
-                    members.push(v);
+                    self.members.push(v);
                     ws.next_frontier.push(v);
+                } else {
+                    reject(v);
                 }
             }
         }
@@ -267,33 +347,40 @@ where
             ws.claims[u] = 0;
         }
         if ws.next_frontier.is_empty() {
-            break;
+            return false;
         }
-        rounds += 1;
+        self.rounds += 1;
         // Flush the layer: record final parent assignments and count the
         // distinct contributors.
         for ni in 0..ws.next_frontier.len() {
             let v = ws.next_frontier[ni];
             let p = ws.parent[v];
-            edges.push((v, p));
+            self.edges.push((v, p));
             if ws.contributed[p] != ws.epoch {
                 ws.contributed[p] = ws.epoch;
-                contributors += 1;
+                self.contributors += 1;
             }
         }
-        if contributors > fault_bound {
-            all_healthy = true;
+        if self.contributors > self.fault_bound {
+            self.all_healthy = true;
         }
         std::mem::swap(&mut ws.frontier, &mut ws.next_frontier);
+        true
     }
 
-    SetBuilderOutcome {
-        all_healthy,
-        members,
-        tree: SpanningTree::from_edges(u0, edges),
-        contributors,
-        rounds,
-        lookups_used: s.lookups().saturating_sub(start_lookups),
+    /// Package the accumulated state as a [`SetBuilderOutcome`].
+    pub(crate) fn finish<S>(self, s: &S) -> SetBuilderOutcome
+    where
+        S: SyndromeSource + ?Sized,
+    {
+        SetBuilderOutcome {
+            all_healthy: self.all_healthy,
+            members: self.members,
+            tree: SpanningTree::from_edges(self.u0, self.edges),
+            contributors: self.contributors,
+            rounds: self.rounds,
+            lookups_used: s.lookups().saturating_sub(self.start_lookups),
+        }
     }
 }
 

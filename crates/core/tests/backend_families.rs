@@ -93,6 +93,59 @@ fn pooled_diagnosis_is_bit_identical_across_1_2_4_8_workers() {
     }
 }
 
+/// ISSUE-8: with the grow cutover forced to 1, the pooled backend's
+/// frontier-parallel growth sweep must be bit-identical to the sequential
+/// driver on every family at every pool width — faults, certified part,
+/// healthy set, spanning tree — and on the 1-worker pool (sequential probe
+/// scan order) even the full lookup accounting.
+#[test]
+fn frontier_growth_is_bit_identical_across_1_2_4_8_workers() {
+    use mmdiag_core::{grow_cutover, set_grow_cutover};
+    use mmdiag_topology::{Cached, Topology};
+    let prev = grow_cutover();
+    set_grow_cutover(1);
+    let pools: Vec<Pool> = [1usize, 2, 4, 8].into_iter().map(Pool::new).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF807_2026);
+    for fam in families() {
+        let g = Cached::new(fam.as_ref());
+        assert!(g.has_sorted_adjacency(), "{}", g.name());
+        let n = g.node_count();
+        let bound = g.driver_fault_bound();
+        for (trial, load) in [bound, bound / 2].into_iter().enumerate() {
+            let faults = FaultSet::random(n, load, &mut rng);
+            for behavior in [
+                TesterBehavior::AllZero,
+                TesterBehavior::Random { seed: trial as u64 },
+            ] {
+                let s = OracleSyndrome::new(faults.clone(), behavior);
+                let seq = diagnose(&g, &s)
+                    .unwrap_or_else(|e| panic!("{}: sequential: {e} ({behavior:?})", g.name()));
+                for pool in &pools {
+                    s.reset_lookups();
+                    let par = diagnose_with(&g, &s, &ExecutionBackend::Pooled(pool))
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{}: frontier x{}: {e} ({behavior:?})",
+                                g.name(),
+                                pool.threads()
+                            )
+                        });
+                    let ctx = format!("{} frontier x{} {behavior:?}", g.name(), pool.threads());
+                    assert_eq!(par.faults, seq.faults, "{ctx}");
+                    assert_eq!(par.certified_part, seq.certified_part, "{ctx}");
+                    assert_eq!(par.healthy_count, seq.healthy_count, "{ctx}");
+                    assert_eq!(par.tree.edges(), seq.tree.edges(), "{ctx}");
+                    if pool.threads() == 1 {
+                        assert_eq!(par.probes, seq.probes, "{ctx}");
+                        assert_eq!(par.lookups_used, seq.lookups_used, "{ctx}");
+                    }
+                }
+            }
+        }
+    }
+    set_grow_cutover(prev);
+}
+
 /// A syndrome that panics once a lookup threshold is crossed — the shape
 /// of a poisoned data source mid-probe.
 struct PanickySyndrome {

@@ -1,0 +1,151 @@
+//! An atomic claim bitset: the one shared-mutable structure behind the
+//! frontier-parallel growth sweep in `mmdiag-core`.
+//!
+//! During a frontier round every worker scans its shard of the current
+//! frontier and discovers candidate nodes; a candidate reachable from two
+//! shards must be *resolved exactly once* or the merged layer would hold
+//! duplicate members. [`ClaimBits::try_claim`] arbitrates with a single
+//! `fetch_or` per candidate: whichever worker flips the bit first owns the
+//! resolution, every later claimant backs off. The bits say nothing about
+//! *order* — the deterministic merge downstream re-sorts resolved
+//! candidates — they only guarantee uniqueness.
+//!
+//! Like every synchronization primitive in this crate the words live
+//! behind the [`crate::sync`] facade, so the claim/resolve protocol is
+//! explorable under the `model` feature (`tests/model.rs` drives a
+//! miniature frontier merge through thousands of seeded interleavings).
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+
+const WORD_BITS: usize = usize::BITS as usize;
+
+/// A fixed-capacity bitset whose bits are claimed atomically.
+///
+/// `try_claim` is safe to call concurrently from pool workers; `reset`
+/// and `ensure` need `&mut self` and are meant for the orchestrator
+/// between rounds. Clearing individual bits ([`ClaimBits::clear`]) takes
+/// `&self` so the single-threaded merge can recycle the set in O(resolved)
+/// instead of O(capacity).
+pub struct ClaimBits {
+    words: Vec<AtomicUsize>,
+}
+
+impl ClaimBits {
+    /// An empty set with capacity for `bits` indices, all unclaimed.
+    pub fn new(bits: usize) -> Self {
+        let mut s = ClaimBits { words: Vec::new() };
+        s.ensure(bits);
+        s
+    }
+
+    /// Number of claimable indices (rounded up to the word size).
+    pub fn capacity(&self) -> usize {
+        self.words.len() * WORD_BITS
+    }
+
+    /// Grow capacity to at least `bits` indices. Existing claims survive;
+    /// new words start unclaimed. No-op when already large enough, so a
+    /// pooled set costs nothing to re-check per job.
+    pub fn ensure(&mut self, bits: usize) {
+        let need = bits.div_ceil(WORD_BITS);
+        while self.words.len() < need {
+            self.words.push(AtomicUsize::new(0));
+        }
+    }
+
+    /// Atomically claim index `i`. Returns `true` exactly once per index
+    /// per reset cycle: the caller that flipped the bit owns it.
+    pub fn try_claim(&self, i: usize) -> bool {
+        let bit = 1usize << (i % WORD_BITS);
+        self.words[i / WORD_BITS].fetch_or(bit, Ordering::Relaxed) & bit == 0
+    }
+
+    /// Whether index `i` is currently claimed.
+    pub fn is_claimed(&self, i: usize) -> bool {
+        let bit = 1usize << (i % WORD_BITS);
+        self.words[i / WORD_BITS].load(Ordering::Relaxed) & bit != 0
+    }
+
+    /// Clear the claim on index `i` (callable while shared; the caller is
+    /// responsible for not racing this with a concurrent `try_claim` on
+    /// the same index — the growth merge runs it single-threaded between
+    /// rounds).
+    pub fn clear(&self, i: usize) {
+        let bit = 1usize << (i % WORD_BITS);
+        self.words[i / WORD_BITS].fetch_and(!bit, Ordering::Relaxed);
+    }
+
+    /// Drop every claim.
+    pub fn reset(&mut self) {
+        for w in &mut self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(all(test, not(feature = "model")))]
+mod tests {
+    use super::*;
+    use crate::Pool;
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+
+    #[test]
+    fn each_index_claims_exactly_once() {
+        let bits = ClaimBits::new(200);
+        for i in 0..200 {
+            assert!(!bits.is_claimed(i));
+            assert!(bits.try_claim(i), "first claim of {i} wins");
+            assert!(!bits.try_claim(i), "second claim of {i} loses");
+            assert!(bits.is_claimed(i));
+        }
+    }
+
+    #[test]
+    fn clear_and_reset_recycle_claims() {
+        let mut bits = ClaimBits::new(130);
+        assert!(bits.try_claim(129));
+        bits.clear(129);
+        assert!(!bits.is_claimed(129));
+        assert!(bits.try_claim(129), "cleared bit is claimable again");
+        // Clearing one bit leaves its word-mates alone.
+        assert!(bits.try_claim(128));
+        bits.clear(129);
+        assert!(bits.is_claimed(128));
+        bits.reset();
+        assert!(!bits.is_claimed(128));
+        assert!(bits.try_claim(128));
+    }
+
+    #[test]
+    fn ensure_grows_without_dropping_claims() {
+        let mut bits = ClaimBits::new(10);
+        assert!(bits.try_claim(3));
+        let before = bits.capacity();
+        bits.ensure(5_000);
+        assert!(bits.capacity() >= 5_000 && bits.capacity() >= before);
+        assert!(bits.is_claimed(3), "old claims survive growth");
+        assert!(bits.try_claim(4_999));
+    }
+
+    #[test]
+    fn concurrent_claims_have_a_unique_winner_per_index() {
+        let pool = Pool::new(4);
+        let bits = ClaimBits::new(512);
+        let wins: Vec<StdAtomicUsize> = (0..512).map(|_| StdAtomicUsize::new(0)).collect();
+        // Every worker task tries to claim every index.
+        pool.for_each_index(0..64, |_| {
+            for (i, w) in wins.iter().enumerate() {
+                if bits.try_claim(i) {
+                    w.fetch_add(1, StdOrdering::Relaxed);
+                }
+            }
+        });
+        for (i, w) in wins.iter().enumerate() {
+            assert_eq!(
+                w.load(StdOrdering::Relaxed),
+                1,
+                "index {i} needs one winner"
+            );
+        }
+    }
+}

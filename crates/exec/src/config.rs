@@ -20,6 +20,7 @@
 //! | `MMDIAG_QUICK` | any non-empty value except `"0"` | `false` |
 //! | `MMDIAG_SAMPLES` | positive integer | ignored (`None`) |
 //! | `MMDIAG_TRACE` | any non-empty value except `"0"` | `false` |
+//! | `MMDIAG_GROW_CUTOVER` | positive integer | ignored (`None`) |
 
 use std::sync::OnceLock;
 
@@ -43,6 +44,10 @@ pub struct Knobs {
     /// process-wide: sessions trace by default and pools record
     /// per-worker stats. Same truthiness rules as `MMDIAG_QUICK`.
     pub trace: bool,
+    /// `MMDIAG_GROW_CUTOVER` — node count below which the pooled driver
+    /// keeps the sequential growth tail instead of the frontier-parallel
+    /// sweep. `None` when unset, unparsable, or zero.
+    pub grow_cutover: Option<usize>,
 }
 
 impl Knobs {
@@ -55,20 +60,22 @@ impl Knobs {
         quick: Option<&str>,
         samples: Option<&str>,
         trace: Option<&str>,
+        grow_cutover: Option<&str>,
     ) -> Self {
         let truthy = |v: Option<&str>| v.is_some_and(|v| !v.is_empty() && v != "0");
+        let positive = |v: Option<&str>| {
+            v.and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        };
         Knobs {
             pool_threads: pool_threads
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .map(|n| n.clamp(1, 64)),
-            cutover: cutover
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&n| n > 0),
+            cutover: positive(cutover),
             quick: truthy(quick),
-            samples_per_part: samples
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&k| k > 0),
+            samples_per_part: positive(samples),
             trace: truthy(trace),
+            grow_cutover: positive(grow_cutover),
         }
     }
 
@@ -82,6 +89,7 @@ impl Knobs {
             get("MMDIAG_QUICK").as_deref(),
             get("MMDIAG_SAMPLES").as_deref(),
             get("MMDIAG_TRACE").as_deref(),
+            get("MMDIAG_GROW_CUTOVER").as_deref(),
         )
     }
 }
@@ -101,27 +109,36 @@ mod tests {
 
     #[test]
     fn unset_environment_yields_defaults() {
-        let k = Knobs::parse(None, None, None, None, None);
+        let k = Knobs::parse(None, None, None, None, None, None);
         assert_eq!(k.pool_threads, None);
         assert_eq!(k.cutover, None);
         assert!(!k.quick);
         assert_eq!(k.samples_per_part, None);
         assert!(!k.trace);
+        assert_eq!(k.grow_cutover, None);
     }
 
     #[test]
     fn well_formed_values_parse() {
-        let k = Knobs::parse(Some("6"), Some("2048"), Some("1"), Some("5"), Some("1"));
+        let k = Knobs::parse(
+            Some("6"),
+            Some("2048"),
+            Some("1"),
+            Some("5"),
+            Some("1"),
+            Some("65536"),
+        );
         assert_eq!(k.pool_threads, Some(6));
         assert_eq!(k.cutover, Some(2048));
         assert!(k.quick);
         assert_eq!(k.samples_per_part, Some(5));
         assert!(k.trace);
+        assert_eq!(k.grow_cutover, Some(65536));
     }
 
     #[test]
     fn trace_flag_shares_quick_truthiness() {
-        let trace = |v| Knobs::parse(None, None, None, None, v).trace;
+        let trace = |v| Knobs::parse(None, None, None, None, v, None).trace;
         assert!(trace(Some("1")));
         assert!(trace(Some("chrome")));
         assert!(!trace(Some("0")));
@@ -132,16 +149,16 @@ mod tests {
     #[test]
     fn pool_threads_is_clamped_not_rejected() {
         assert_eq!(
-            Knobs::parse(Some("0"), None, None, None, None).pool_threads,
+            Knobs::parse(Some("0"), None, None, None, None, None).pool_threads,
             Some(1)
         );
         assert_eq!(
-            Knobs::parse(Some("999"), None, None, None, None).pool_threads,
+            Knobs::parse(Some("999"), None, None, None, None, None).pool_threads,
             Some(64)
         );
         // Whitespace survives the historical `.trim()` behaviour.
         assert_eq!(
-            Knobs::parse(Some(" 4 "), None, None, None, None).pool_threads,
+            Knobs::parse(Some(" 4 "), None, None, None, None, None).pool_threads,
             Some(4)
         );
     }
@@ -149,30 +166,45 @@ mod tests {
     #[test]
     fn malformed_integers_are_ignored() {
         for bad in ["", "abc", "-3", "1.5", "0x10", "1e3", "१०"] {
-            let k = Knobs::parse(Some(bad), Some(bad), None, Some(bad), None);
+            let k = Knobs::parse(Some(bad), Some(bad), None, Some(bad), None, Some(bad));
             assert_eq!(k.pool_threads, None, "pool_threads {bad:?}");
             assert_eq!(k.cutover, None, "cutover {bad:?}");
             assert_eq!(k.samples_per_part, None, "samples {bad:?}");
+            assert_eq!(k.grow_cutover, None, "grow_cutover {bad:?}");
         }
     }
 
     #[test]
     fn zero_cutover_and_zero_samples_are_rejected() {
-        let k = Knobs::parse(None, Some("0"), None, Some("0"), None);
+        let k = Knobs::parse(None, Some("0"), None, Some("0"), None, Some("0"));
         assert_eq!(k.cutover, None, "a zero cutover would disable sequential");
         assert_eq!(k.samples_per_part, None);
+        assert_eq!(
+            k.grow_cutover, None,
+            "a zero grow cutover would force the frontier sweep on every size"
+        );
+    }
+
+    #[test]
+    fn grow_cutover_parses_like_cutover_but_independently() {
+        let k = Knobs::parse(None, Some("512"), None, None, None, Some(" 1048576 "));
+        assert_eq!(k.cutover, Some(512));
+        assert_eq!(k.grow_cutover, Some(1048576), "trimmed and parsed");
+        let k = Knobs::parse(None, None, None, None, None, Some("7"));
+        assert_eq!(k.cutover, None, "grow knob must not leak into cutover");
+        assert_eq!(k.grow_cutover, Some(7));
     }
 
     #[test]
     fn quick_flag_semantics_match_the_historical_parse() {
         // The bench binary historically treated any non-empty value except
         // "0" as on — including junk like "false".
-        assert!(Knobs::parse(None, None, Some("1"), None, None).quick);
-        assert!(Knobs::parse(None, None, Some("yes"), None, None).quick);
-        assert!(Knobs::parse(None, None, Some("false"), None, None).quick);
-        assert!(!Knobs::parse(None, None, Some("0"), None, None).quick);
-        assert!(!Knobs::parse(None, None, Some(""), None, None).quick);
-        assert!(!Knobs::parse(None, None, None, None, None).quick);
+        assert!(Knobs::parse(None, None, Some("1"), None, None, None).quick);
+        assert!(Knobs::parse(None, None, Some("yes"), None, None, None).quick);
+        assert!(Knobs::parse(None, None, Some("false"), None, None, None).quick);
+        assert!(!Knobs::parse(None, None, Some("0"), None, None, None).quick);
+        assert!(!Knobs::parse(None, None, Some(""), None, None, None).quick);
+        assert!(!Knobs::parse(None, None, None, None, None, None).quick);
     }
 
     #[test]

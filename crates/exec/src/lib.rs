@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod claim;
 pub mod config;
 #[cfg(feature = "model")]
 pub mod model;
@@ -73,6 +74,7 @@ mod pool;
 mod scope;
 pub mod sync;
 
+pub use claim::ClaimBits;
 pub use config::{knobs, Knobs};
 pub use pool::{Pool, PoolStats, WorkerStats};
 pub use scope::Scope;

@@ -232,6 +232,20 @@ pub mod atomic {
             r
         }
 
+        /// Bitwise OR, returning the previous value.
+        pub fn fetch_or(&self, val: usize, _order: Ordering) -> usize {
+            let r = self.v.fetch_or(val, real::Ordering::SeqCst);
+            sched_point(false);
+            r
+        }
+
+        /// Bitwise AND, returning the previous value.
+        pub fn fetch_and(&self, val: usize, _order: Ordering) -> usize {
+            let r = self.v.fetch_and(val, real::Ordering::SeqCst);
+            sched_point(false);
+            r
+        }
+
         /// Compare-exchange (the model never fails spuriously).
         pub fn compare_exchange(
             &self,

@@ -103,11 +103,21 @@ impl<T: Partitionable> Topology for ImplicitTopology<T> {
         self.inner.node_count()
     }
     fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
-        self.inner.neighbors_into(u, out);
         // CSR neighbour lists are sorted; matching that order here is what
         // makes implicit and Cached diagnoses bit-identical (Set_Builder's
         // parent assignment and spread heuristic are scan-order dependent).
-        out.sort_unstable();
+        // Families that can generate ascending (the hypercube's bit trick)
+        // skip the per-call sort through `neighbors_into_sorted`.
+        self.inner.neighbors_into_sorted(u, out);
+    }
+    fn neighbors_into_sorted(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        self.inner.neighbors_into_sorted(u, out);
+    }
+    fn neighbors_sorted_until(&self, u: NodeId, visit: &mut dyn FnMut(NodeId) -> bool) {
+        self.inner.neighbors_sorted_until(u, visit);
+    }
+    fn has_sorted_adjacency(&self) -> bool {
+        true
     }
     fn degree(&self, u: NodeId) -> usize {
         self.inner.degree(u)
@@ -195,12 +205,29 @@ mod tests {
     #[test]
     fn neighbors_are_sorted_and_match_inner_as_sets() {
         let g = ImplicitTopology::new(StarGraph::new(5));
+        assert!(g.has_sorted_adjacency());
         for u in (0..g.node_count()).step_by(11) {
             let sorted = g.neighbors(u);
             assert!(sorted.windows(2).all(|w| w[0] < w[1]), "node {u}");
             let mut raw = g.inner().neighbors(u);
             raw.sort_unstable();
             assert_eq!(sorted, raw);
+        }
+    }
+
+    #[test]
+    fn hypercube_sorted_generation_matches_cached_csr() {
+        // The implicit hypercube uses the ascending bit-trick generator;
+        // its neighbour lists must equal the CSR's sorted slices exactly.
+        let fam = Hypercube::new(7);
+        let g = ImplicitTopology::new(fam.clone());
+        let cached = Cached::new(&fam);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for u in 0..g.node_count() {
+            g.neighbors_into(u, &mut a);
+            cached.neighbors_into(u, &mut b);
+            assert_eq!(a, b, "node {u}");
         }
     }
 

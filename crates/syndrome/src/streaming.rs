@@ -21,15 +21,51 @@ use mmdiag_topology::NodeId;
 use mmdiag_trace::Counter;
 use std::sync::Arc;
 
+/// Words in the membership pre-filter: 16 × 64 = 1024 positions, 128
+/// bytes — two cache lines, L1-resident across an entire growth sweep.
+const FILTER_WORDS: usize = 16;
+
+/// One multiply-shift hash position in the 1024-bit filter.
+#[inline]
+fn filter_slot(u: NodeId) -> (usize, u64) {
+    let h = (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 54;
+    ((h >> 6) as usize, 1u64 << (h & 63))
+}
+
 /// A lazy, counting syndrome source holding `O(|F|)` state: the sorted
 /// fault members plus the faulty-tester behaviour.
+///
+/// One instance serves an entire diagnosis, including the frontier-parallel
+/// growth sweep: `lookup` takes `&self` and the counter is atomic, so pool
+/// workers resolving candidates of the same frontier round query it
+/// concurrently without any per-round setup or teardown. The growth engine
+/// attributes lookups to rounds by differencing [`SyndromeSource::lookups`]
+/// before and after each round — exact because every outcome, whichever
+/// worker computed it, funnels through this one counter.
 pub struct OnDemandOracle {
     members: Vec<NodeId>,
     universe: usize,
     behavior: TesterBehavior,
+    /// 1024-bit one-hash Bloom filter over `members`: almost every node a
+    /// diagnosis asks about is healthy, and with `|F| ≲ Δ` members the
+    /// filter answers ≈ 98 % of those in one multiply and one L1 load
+    /// instead of a `log |F|` branchy search — three searches per lookup,
+    /// ~Δ·N lookups per large-instance grow. A set bit falls through to
+    /// the exact search, so answers are bit-identical either way.
+    filter: [u64; FILTER_WORDS],
     /// Shared so a tracing session can register the same cell as its
     /// `oracle.lookups` metric (see `SyndromeSource::lookup_counter`).
     lookups: Arc<Counter>,
+}
+
+/// Build the membership pre-filter for a sorted member list.
+fn build_filter(members: &[NodeId]) -> [u64; FILTER_WORDS] {
+    let mut filter = [0u64; FILTER_WORDS];
+    for &m in members {
+        let (w, bit) = filter_slot(m);
+        filter[w] |= bit;
+    }
+    filter
 }
 
 impl OnDemandOracle {
@@ -45,10 +81,12 @@ impl OnDemandOracle {
                 "faulty node {last} out of range (n = {universe})"
             );
         }
+        let filter = build_filter(&members);
         OnDemandOracle {
             members,
             universe,
             behavior,
+            filter,
             lookups: Arc::new(Counter::new()),
         }
     }
@@ -59,14 +97,17 @@ impl OnDemandOracle {
             members: faults.members().to_vec(),
             universe: faults.universe(),
             behavior,
+            filter: build_filter(faults.members()),
             lookups: Arc::new(Counter::new()),
         }
     }
 
-    /// Whether node `u` is faulty — `O(log |F|)`.
+    /// Whether node `u` is faulty — one filter probe for the common
+    /// healthy case, `O(log |F|)` on a filter hit.
     #[inline]
     pub fn is_faulty(&self, u: NodeId) -> bool {
-        self.members.binary_search(&u).is_ok()
+        let (w, bit) = filter_slot(u);
+        self.filter[w] & bit != 0 && self.members.binary_search(&u).is_ok()
     }
 
     /// The planted fault members, ascending (ground truth — only tests and
@@ -179,6 +220,25 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_member_rejected() {
         OnDemandOracle::new(3, &[3], TesterBehavior::AllZero);
+    }
+
+    /// The Bloom pre-filter must never change an answer: sweep every node
+    /// of a universe against the exact member list, including a dense
+    /// member set that saturates the 1024-bit filter.
+    #[test]
+    fn filter_never_flips_membership() {
+        let sparse = [3usize, 977, 2048, 4095];
+        let dense: Vec<usize> = (0..3000).step_by(2).collect();
+        for members in [&sparse[..], &dense[..]] {
+            let o = OnDemandOracle::new(4096, members, TesterBehavior::AllZero);
+            for u in 0..4096 {
+                assert_eq!(
+                    o.is_faulty(u),
+                    members.binary_search(&u).is_ok(),
+                    "node {u}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -109,6 +109,83 @@ impl Topology for KAryNCube {
             base *= self.k;
         }
     }
+    fn neighbors_into_sorted(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        // Per dimension `i` (stride `bᵢ = kⁱ`, digit `d`) the two
+        // neighbours differ from `u` by a delta in {−(k−1)bᵢ, −bᵢ, +bᵢ,
+        // +(k−1)bᵢ}: ±bᵢ for interior digits, both negatives when
+        // `d = k−1` (the +1 step wraps down), both positives when `d = 0`
+        // (the −1 step wraps up). Every dimension-`i` magnitude is below
+        // every dimension-`(i+1)` magnitude ((k−1)kⁱ < kⁱ⁺¹), so emitting
+        // negative deltas with dimensions descending (most negative
+        // first) and then positive deltas with dimensions ascending is
+        // ascending node order with no per-call sort — which the default
+        // would otherwise pay on each of the ~Δ·N lists the growth sweep
+        // generates.
+        out.clear();
+        let mut digits = [0u32; 64];
+        let mut rest = u;
+        for slot in digits.iter_mut().take(self.n) {
+            *slot = (rest % self.k) as u32;
+            rest /= self.k;
+        }
+        let mut base = self.pow(self.n - 1);
+        for i in (0..self.n).rev() {
+            let d = digits[i] as usize;
+            if d == self.k - 1 {
+                out.push(u - (self.k - 1) * base); // k−1 wraps to 0
+                out.push(u - base); //                k−1 steps to k−2
+            } else if d > 0 {
+                out.push(u - base); //                d steps to d−1
+            }
+            base /= self.k;
+        }
+        base = 1;
+        for &digit in digits.iter().take(self.n) {
+            let d = digit as usize;
+            if d == 0 {
+                out.push(u + base); //                0 steps to 1
+                out.push(u + (self.k - 1) * base); // 0 wraps to k−1
+            } else if d < self.k - 1 {
+                out.push(u + base); //                d steps to d+1
+            }
+            base *= self.k;
+        }
+    }
+    fn neighbors_sorted_until(&self, u: NodeId, visit: &mut dyn FnMut(NodeId) -> bool) {
+        // The ascending emission of `neighbors_into_sorted`, one value at
+        // a time; the growth sweep's witness scan usually stops within
+        // the first dimension or two, skipping most of the 2n deltas.
+        let mut digits = [0u32; 64];
+        let mut rest = u;
+        for slot in digits.iter_mut().take(self.n) {
+            *slot = (rest % self.k) as u32;
+            rest /= self.k;
+        }
+        let mut base = self.pow(self.n - 1);
+        for i in (0..self.n).rev() {
+            let d = digits[i] as usize;
+            if d == self.k - 1 {
+                if !visit(u - (self.k - 1) * base) || !visit(u - base) {
+                    return;
+                }
+            } else if d > 0 && !visit(u - base) {
+                return;
+            }
+            base /= self.k;
+        }
+        base = 1;
+        for &digit in digits.iter().take(self.n) {
+            let d = digit as usize;
+            if d == 0 {
+                if !visit(u + base) || !visit(u + (self.k - 1) * base) {
+                    return;
+                }
+            } else if d < self.k - 1 && !visit(u + base) {
+                return;
+            }
+            base *= self.k;
+        }
+    }
     fn degree(&self, _u: NodeId) -> usize {
         2 * self.n
     }
@@ -174,6 +251,25 @@ mod tests {
         let mut nb = g.neighbors(0);
         nb.sort_unstable();
         assert_eq!(nb, vec![1, 2, 3, 6]);
+    }
+
+    #[test]
+    fn sorted_neighbors_match_raw_for_every_node() {
+        for g in [
+            KAryNCube::with_partition_dim(3, 2, 1),
+            KAryNCube::with_partition_dim(4, 3, 1),
+            KAryNCube::with_partition_dim(5, 2, 1),
+            KAryNCube::with_partition_dim(3, 6, 3),
+        ] {
+            let mut raw = Vec::new();
+            let mut srt = Vec::new();
+            for u in 0..g.node_count() {
+                g.neighbors_into(u, &mut raw);
+                raw.sort_unstable();
+                g.neighbors_into_sorted(u, &mut srt);
+                assert_eq!(srt, raw, "Q^{}_{}: u={u}", g.radix(), g.dim());
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,53 @@ pub trait Topology {
     /// unspecified. `u` must be `< node_count()`.
     fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>);
 
+    /// Append the neighbours of `u` to `out` (cleared first) in **ascending
+    /// node order**.
+    ///
+    /// The default generates via [`Topology::neighbors_into`] and sorts;
+    /// families whose arithmetic can emit neighbours already ascending
+    /// (e.g. the hypercube) override this to skip the sort, and CSR-backed
+    /// representations copy their sorted slices directly. The
+    /// frontier-parallel growth sweep leans on this: its deterministic
+    /// merge reproduces the sequential visit order only when adjacency is
+    /// scanned ascending.
+    fn neighbors_into_sorted(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        self.neighbors_into(u, out);
+        out.sort_unstable();
+    }
+
+    /// Visit the neighbours of `u` in **ascending node order**, stopping
+    /// early when `visit` returns `false`.
+    ///
+    /// The frontier-parallel growth sweep resolves each candidate by
+    /// consulting witnesses ascending until the first agreement — almost
+    /// always the first or second neighbour — so materialising the full
+    /// `Δ`-entry list per candidate is mostly wasted work at 10⁷⁺ nodes.
+    /// Arithmetic families and CSR-backed representations override this
+    /// to generate (or walk) lazily; the default allocates and defers to
+    /// [`Topology::neighbors_into_sorted`], which is fine for the small
+    /// instances that are the only users of the default.
+    fn neighbors_sorted_until(&self, u: NodeId, visit: &mut dyn FnMut(NodeId) -> bool) {
+        let mut out = Vec::new();
+        self.neighbors_into_sorted(u, &mut out);
+        for &w in &out {
+            if !visit(w) {
+                return;
+            }
+        }
+    }
+
+    /// Whether [`Topology::neighbors_into`] itself already yields
+    /// neighbours in ascending order for every node.
+    ///
+    /// `false` by default (raw arithmetic families enumerate in generator
+    /// order); `true` for CSR-backed representations. Callers that need
+    /// order-sensitive bit-identity with a CSR reference (the
+    /// frontier-parallel growth sweep) only engage when this holds.
+    fn has_sorted_adjacency(&self) -> bool {
+        false
+    }
+
     /// Convenience wrapper allocating a fresh vector of neighbours.
     fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
@@ -95,6 +142,15 @@ impl<T: Topology + ?Sized> Topology for &T {
     }
     fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
         (**self).neighbors_into(u, out)
+    }
+    fn neighbors_into_sorted(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        (**self).neighbors_into_sorted(u, out)
+    }
+    fn neighbors_sorted_until(&self, u: NodeId, visit: &mut dyn FnMut(NodeId) -> bool) {
+        (**self).neighbors_sorted_until(u, visit)
+    }
+    fn has_sorted_adjacency(&self) -> bool {
+        (**self).has_sorted_adjacency()
     }
     fn degree(&self, u: NodeId) -> usize {
         (**self).degree(u)
@@ -237,6 +293,20 @@ impl Topology for AdjGraph {
         out.clear();
         out.extend_from_slice(self.neighbors_slice(u));
     }
+    fn neighbors_into_sorted(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(self.neighbors_slice(u));
+    }
+    fn neighbors_sorted_until(&self, u: NodeId, visit: &mut dyn FnMut(NodeId) -> bool) {
+        for &w in self.neighbors_slice(u) {
+            if !visit(w) {
+                return;
+            }
+        }
+    }
+    fn has_sorted_adjacency(&self) -> bool {
+        true
+    }
     fn degree(&self, u: NodeId) -> usize {
         self.offsets[u + 1] - self.offsets[u]
     }
@@ -313,6 +383,47 @@ mod tests {
         assert_eq!(r.node_count(), 3);
         // Exercise the blanket `impl Topology for &T` explicitly.
         assert_eq!(Topology::degree(&&g, 1), 2);
+    }
+
+    #[test]
+    fn sorted_adjacency_contract() {
+        // CSR graphs are sorted by construction and say so.
+        let g = path3();
+        assert!(g.has_sorted_adjacency());
+        assert!(
+            Topology::has_sorted_adjacency(&&g),
+            "blanket impl forwards the flag"
+        );
+        let mut buf = Vec::new();
+        g.neighbors_into_sorted(1, &mut buf);
+        assert_eq!(buf, vec![0, 2]);
+        Topology::neighbors_into_sorted(&&g, 1, &mut buf);
+        assert_eq!(buf, vec![0, 2]);
+
+        // A deliberately unsorted implementation still yields sorted output
+        // through the default `neighbors_into_sorted`, but reports false.
+        struct Backwards;
+        impl Topology for Backwards {
+            fn node_count(&self) -> usize {
+                4
+            }
+            fn neighbors_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+                out.clear();
+                out.extend((0..4).rev().filter(|&v| v != u));
+            }
+            fn diagnosability(&self) -> usize {
+                1
+            }
+            fn name(&self) -> String {
+                "backwards".into()
+            }
+        }
+        let b = Backwards;
+        assert!(!b.has_sorted_adjacency());
+        b.neighbors_into(1, &mut buf);
+        assert_eq!(buf, vec![3, 2, 0]);
+        b.neighbors_into_sorted(1, &mut buf);
+        assert_eq!(buf, vec![0, 2, 3]);
     }
 
     #[test]

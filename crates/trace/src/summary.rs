@@ -17,6 +17,10 @@ pub const PHASE_PROBE: &str = "probe";
 pub const PHASE_CERTIFY: &str = "certify";
 /// The grow-and-sweep phase span name.
 pub const PHASE_GROW: &str = "grow";
+/// Per-frontier-round span name, nested inside [`PHASE_GROW`] by the
+/// frontier-parallel growth sweep. Aggregated per-name like every other
+/// span, so the probe/certify/grow phase totals are untouched.
+pub const PHASE_GROW_ROUND: &str = "grow.round";
 
 /// Aggregate of all spans sharing one name.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

@@ -391,14 +391,17 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    // Pass: the implicit scale path never materialises a CSR.
-    if rel.starts_with("crates/implicit/src/") {
+    // Pass: the implicit scale path never materialises a CSR. The
+    // frontier growth engine is held to the same invariant: it serves
+    // implicit topologies at `--xxlarge` (Q_27, 10⁸-node) scale, where a
+    // single `Cached::new` would densify ~3.6 GB of adjacency.
+    if rel.starts_with("crates/implicit/src/") || rel == "crates/core/src/grow.rs" {
         for (idx, line) in code_lines.iter().enumerate() {
             if !mask[idx] && find_token(line, "Cached::new").is_some() {
                 findings.push(at(
                     idx,
                     "implicit-no-materialisation",
-                    "`Cached::new` in `crates/implicit` src — the implicit path must stay \
+                    "`Cached::new` on the implicit/growth scale path — it must stay \
                      CSR-free (tests under `#[cfg(test)]` are exempt)"
                         .into(),
                 ));
@@ -705,6 +708,10 @@ mod tests {
         let found = lint_source("crates/implicit/src/scale.rs", src);
         assert_eq!(passes(&found), vec!["implicit-no-materialisation"]);
         assert_eq!(found[0].line, 2, "the test-mod call is exempt");
+        // The frontier growth engine is on the same scale path.
+        let found = lint_source("crates/core/src/grow.rs", src);
+        assert_eq!(passes(&found), vec!["implicit-no-materialisation"]);
+        assert_eq!(found[0].line, 2);
         // Other crates may materialise freely.
         assert!(lint_source(
             "crates/bench/src/sweep.rs",

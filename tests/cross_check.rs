@@ -285,6 +285,96 @@ fn simulator_accepts_implicit_topologies() {
     assert_eq!(on_implicit.probes_until_certificate, drv.probes);
 }
 
+/// The ISSUE-8 tentpole contract: with the grow cutover forced to 1 so
+/// every pooled run takes the frontier-parallel sweep, the pooled
+/// diagnosis on 1/2/4/8 workers must be bit-identical to the sequential
+/// tail on every family and both representations — same faults, same
+/// certified part, same spanning tree, same healthy set, and the same
+/// growth-phase *lookup count* (the frontier engine consults the same
+/// witnesses in the same per-candidate order). The implicit leg must
+/// additionally materialise nothing.
+#[test]
+fn frontier_parallel_growth_is_bit_identical_on_every_family() {
+    use mmdiag::diagnosis::session::run_with;
+    use mmdiag::diagnosis::{set_grow_cutover, BackendPolicy, SessionOptions};
+    use mmdiag::exec::Pool;
+    use mmdiag::implicit::MaterialisationGuard;
+
+    let prev = mmdiag::diagnosis::grow_cutover();
+    set_grow_cutover(1);
+    let pools: Vec<Pool> = [1usize, 2, 4, 8].into_iter().map(Pool::new).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF207_71E6);
+    let opts = SessionOptions::default();
+    let mut parallel_rounds_seen = 0usize;
+    for (cached, implicit) in representation_pairs() {
+        let g = implicit.as_ref();
+        let n = g.node_count();
+        let bound = g.driver_fault_bound();
+        let faults = FaultSet::random(n, bound, &mut rng);
+        for b in [TesterBehavior::AllZero, TesterBehavior::Random { seed: 8 }] {
+            let s = OracleSyndrome::new(faults.clone(), b);
+            let seq = run_with(&cached, &s, BackendPolicy::Sequential, &opts, None)
+                .unwrap_or_else(|e| panic!("{}: sequential: {e} ({b:?})", g.name()));
+            assert_eq!(seq.diagnosis.faults, faults.members(), "{} {b:?}", g.name());
+            for pool in &pools {
+                for (label, par) in [
+                    (
+                        "cached",
+                        run_with(&cached, &s, BackendPolicy::Pooled(pool), &opts, None),
+                    ),
+                    ("implicit", {
+                        let guard = MaterialisationGuard::begin();
+                        let r = run_with(g, &s, BackendPolicy::Pooled(pool), &opts, None);
+                        guard.assert_unchanged(&format!("{} frontier growth", g.name()));
+                        r
+                    }),
+                ] {
+                    let par = par.unwrap_or_else(|e| {
+                        panic!("{} {label} x{}: {e} ({b:?})", g.name(), pool.threads())
+                    });
+                    let ctx = format!("{} {label} x{} {b:?}", g.name(), pool.threads());
+                    assert_eq!(par.diagnosis.faults, seq.diagnosis.faults, "{ctx}");
+                    assert_eq!(
+                        par.diagnosis.certified_part, seq.diagnosis.certified_part,
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        par.diagnosis.healthy_count, seq.diagnosis.healthy_count,
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        par.diagnosis.tree.edges(),
+                        seq.diagnosis.tree.edges(),
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        par.telemetry.grow_lookups, seq.telemetry.grow_lookups,
+                        "{ctx}: growth lookups are deterministic"
+                    );
+                    let rounds = &par.telemetry.grow_rounds;
+                    assert!(!rounds.is_empty(), "{ctx}: frontier engine records rounds");
+                    assert_eq!(
+                        rounds.iter().map(|r| r.lookups).sum::<u64>(),
+                        par.telemetry.grow_lookups,
+                        "{ctx}: round lookups partition the phase total"
+                    );
+                    assert_eq!(
+                        rounds.iter().map(|r| r.accepted).sum::<usize>() + 1,
+                        par.diagnosis.healthy_count,
+                        "{ctx}: accepted-per-round sums to |U_r|"
+                    );
+                    parallel_rounds_seen += rounds.iter().filter(|r| r.parallel).count();
+                }
+            }
+        }
+    }
+    set_grow_cutover(prev);
+    assert!(
+        parallel_rounds_seen > 0,
+        "at least some growth layers must actually run on the pool"
+    );
+}
+
 #[test]
 fn kappa_at_least_delta_machine_verified() {
     for case in cases() {
