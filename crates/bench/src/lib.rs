@@ -86,6 +86,9 @@ use mmdiag_topology::{Cached, NodeId, Partitionable, Topology};
 use mmdiag_trace::clock::Stopwatch;
 use mmdiag_trace::{HistogramSummary, MetricValue, TraceConfig, TraceSummary};
 
+pub mod throughput;
+pub use throughput::{overhead_guard, run_throughput, OverheadGuard, ThroughputRecord};
+
 /// Lane widths exercised by the strided-search leg of every run (the
 /// historical "parallel driver x threads" trajectory axis — the lanes now
 /// run on the shared pool instead of freshly spawned scoped threads).
@@ -1406,6 +1409,7 @@ pub fn to_json(
     records: &[RunRecord],
     batches: &[BatchRecord],
     scenarios: &[ScenarioRecord],
+    throughput: Option<&ThroughputRecord>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -1620,7 +1624,44 @@ pub fn to_json(
             if i + 1 == scenarios.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // The --throughput fleet axis — additive v2 key, `null` when the
+    // axis did not run. Rendered as one line per nested object so the
+    // line-oriented cutover reader's section skip stays trivial.
+    match throughput {
+        Some(t) => {
+            out.push_str("  \"throughput\": {\n");
+            out.push_str(&format!(
+                "    \"sessions\": {}, \"rounds\": {}, \"jobs_per_round\": {},\n",
+                t.sessions, t.rounds, t.jobs_per_round
+            ));
+            out.push_str(&format!(
+                "    \"total_diagnoses\": {}, \"wall_nanos\": {}, \"diagnoses_per_sec\": {:.3},\n",
+                t.total_diagnoses, t.wall_nanos, t.diagnoses_per_sec
+            ));
+            out.push_str(&format!(
+                "    \"latency_ns\": {},\n",
+                histogram_json(&t.latency_ns)
+            ));
+            out.push_str(&format!(
+                "    \"contention\": {{\"lock_wait_ns\": {}, \"park_ns\": {}, \
+                 \"injector_depth_peak\": {}, \"deque_depth_peak\": {}}},\n",
+                histogram_json(&t.lock_wait_ns),
+                histogram_json(&t.park_ns),
+                t.injector_depth_peak,
+                t.deque_depth_peak,
+            ));
+            out.push_str(&format!("    \"disagreements\": {},\n", t.disagreements));
+            out.push_str(&format!(
+                "    \"overhead\": {{\"bare_nanos\": {}, \"instrumented_nanos\": {}, \
+                 \"within_tolerance\": {}}}\n",
+                t.overhead.bare_nanos, t.overhead.instrumented_nanos, t.overhead.within_tolerance,
+            ));
+            out.push_str("  }\n");
+        }
+        None => out.push_str("  \"throughput\": null\n"),
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -1703,9 +1744,27 @@ pub fn calibrate_cutover_in(dir: &std::path::Path) -> Option<CutoverCalibration>
     }
 
     // Per measured size: cell count and the floor estimate (min over
-    // cells) of driver and pooled wall time.
+    // cells) of driver and pooled wall time. The v2 `"throughput"`
+    // section is not a per-instance record — its fleet rollups must
+    // never seed a calibration group — so the loop skips it wholesale,
+    // tracking brace depth from its opening line (none of the emitted
+    // string values contain braces, so counting brace characters per
+    // line is exact for documents this crate writes and safely lenient
+    // for hand-edited ones).
     let mut groups: Vec<(usize, usize, u128, u128)> = Vec::new();
+    let mut throughput_depth: i64 = 0;
     for line in text.lines() {
+        let delta = line.matches('{').count() as i64 - line.matches('}').count() as i64;
+        if throughput_depth > 0 {
+            throughput_depth += delta;
+            continue;
+        }
+        if line.contains("\"throughput\"") {
+            // One-line `"throughput": null` (or a complete object) ends
+            // here; an opening line starts the skipped section.
+            throughput_depth = delta.max(0);
+            continue;
+        }
         let (Some(nodes), Some(driver), Some(pooled)) = (
             int_after(line, "\"nodes\": "),
             int_after(line, "\"driver\": {\"nanos\": "),
@@ -1868,7 +1927,7 @@ mod tests {
         assert!(sampled.agree && sampled.certificate_ok);
         assert_eq!(sampled.disagreements, 0);
         assert!(sampled.samples > 0 && sampled.checked_tests > 0);
-        let json = to_json("BENCH_TEST", &[rec], &[], &[]);
+        let json = to_json("BENCH_TEST", &[rec], &[], &[], None);
         assert!(json.contains("\"sampled_check\": {\"nanos\": "));
         assert!(json.contains("\"driver_only\": true"));
     }
@@ -1960,6 +2019,67 @@ mod tests {
     }
 
     #[test]
+    fn cutover_calibration_skips_the_throughput_section() {
+        let dir = std::env::temp_dir().join(format!("mmdiag-tpcal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Three genuine cells at one size where pooled loses (cutover
+        // must land just above 256), then an adversarial multi-line
+        // "throughput" section whose lines carry decoy record keys. If
+        // the reader ingested them it would see a second, pooled-winning
+        // "size" at 999 nodes and a corrupted quorum.
+        let mut body = String::from("{\"schema\": \"mmdiag-bench/v2\",\n\"records\": [\n");
+        for rep in 0..3u128 {
+            body.push_str(&format!(
+                "    {{\"family\": \"h\", \"nodes\": 256, \"driver\": {{\"nanos\": {}, \
+                 \"lookups\": 1}}, \"pooled\": {{\"nanos\": {}}}}},\n",
+                100 + rep,
+                900 + rep,
+            ));
+        }
+        body.push_str("],\n");
+        body.push_str("\"throughput\": {\n");
+        for _ in 0..3 {
+            body.push_str(
+                "    {\"nodes\": 999, \"driver\": {\"nanos\": 5000}, \
+                 \"pooled\": {\"nanos\": 1}},\n",
+            );
+        }
+        body.push_str("    \"nested\": {\"deeper\": {\"nodes\": 999}}\n");
+        body.push_str("}\n}\n");
+        std::fs::write(dir.join("BENCH_8.json"), body).unwrap();
+        let cal = calibrate_cutover_in(&dir).expect("the genuine records calibrate");
+        assert_eq!(cal.groups, 1, "decoy throughput lines seed no groups");
+        assert_eq!(cal.cutover, 257);
+        // A document that is *only* a throughput section declines.
+        std::fs::write(
+            dir.join("BENCH_9.json"),
+            "{\"throughput\": {\n    {\"nodes\": 64, \"driver\": {\"nanos\": 9}, \
+             \"pooled\": {\"nanos\": 1}}\n}\n}\n",
+        )
+        .unwrap();
+        assert!(calibrate_cutover_in(&dir).is_none());
+        // The one-line `"throughput": null` form the writer emits when
+        // the axis is off must not start a skip window.
+        std::fs::write(
+            dir.join("BENCH_10.json"),
+            concat!(
+                "{\n",
+                "\"throughput\": null,\n",
+                "    {\"nodes\": 512, \"driver\": {\"nanos\": 100, \"lookups\": 1}, \
+                 \"pooled\": {\"nanos\": 900}},\n",
+                "    {\"nodes\": 512, \"driver\": {\"nanos\": 101, \"lookups\": 1}, \
+                 \"pooled\": {\"nanos\": 901}},\n",
+                "    {\"nodes\": 512, \"driver\": {\"nanos\": 102, \"lookups\": 1}, \
+                 \"pooled\": {\"nanos\": 902}}\n}\n",
+            ),
+        )
+        .unwrap();
+        let cal = calibrate_cutover_in(&dir).expect("records after the null still parse");
+        assert_eq!(cal.cutover, 513);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn profiled_cell_emits_a_valid_chrome_trace() {
         let dir = std::env::temp_dir().join(format!("mmdiag-profile-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -2003,12 +2123,12 @@ mod tests {
         }
         // One trace file per cell, embedded additively under "profile".
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), records.len());
-        let json = to_json("BENCH_TEST", &records, &[], &[]);
+        let json = to_json("BENCH_TEST", &records, &[], &[], None);
         assert!(json.contains("\"profile\": {\"trace_file\": "));
         assert!(json.contains("\"run_ns\": {\"count\": "));
         // The un-profiled sweep keeps the key as an explicit null.
         let (plain, _) = sweep(&catalog, true, &mut |_| {});
-        let json = to_json("BENCH_TEST", &plain, &[], &[]);
+        let json = to_json("BENCH_TEST", &plain, &[], &[], None);
         assert!(json.contains("\"profile\": null"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -2078,7 +2198,7 @@ mod tests {
         assert!(rec.distsim.is_none());
         // 1024 nodes sits at the cutover: auto goes pooled here.
         assert_eq!(rec.auto.backend, "pooled");
-        let json = to_json("BENCH_TEST", &[rec], &[], &[]);
+        let json = to_json("BENCH_TEST", &[rec], &[], &[], None);
         assert!(json.contains("\"baseline\": null"));
         assert!(json.contains("\"distsim\": null"));
         assert!(json.contains("\"driver_only\": true"));
@@ -2104,7 +2224,7 @@ mod tests {
                 )
             })
             .collect();
-        let json = to_json("BENCH_12", &recs, &[], &[]);
+        let json = to_json("BENCH_12", &recs, &[], &[], None);
         assert!(json.contains("\"schema\": \"mmdiag-bench/v2\""));
         std::fs::write(dir.join("BENCH_12.json"), &json).unwrap();
         let cal = calibrate_cutover_in(&dir).expect("v2 trajectory parses");
@@ -2135,7 +2255,7 @@ mod tests {
         assert_eq!(batches.len(), 2);
         assert!(batches.iter().all(|b| b.agree && b.cells == 5));
         // Skipped cells render null ratios, never a misleading 0.000.
-        let json = to_json("BENCH_TEST", &records, &batches, &[]);
+        let json = to_json("BENCH_TEST", &records, &batches, &[], None);
         assert!(json.contains("\"speedup_vs_baseline\": null"));
         assert!(!json.contains("\"speedup_vs_baseline\": 0.000"));
         // Full mode never skips.
@@ -2172,7 +2292,7 @@ mod tests {
             pooled_nanos: 8,
             agree: true,
         };
-        let json = to_json("BENCH_TEST", &[rec], &[batch], &scenarios);
+        let json = to_json("BENCH_TEST", &[rec], &[batch], &scenarios, None);
         // Balanced braces/brackets and the fields the trajectory reader keys on.
         assert_eq!(
             json.matches('{').count(),

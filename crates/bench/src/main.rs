@@ -8,7 +8,7 @@
 //! machine-readable trajectory file.
 //!
 //! ```text
-//! mmdiag-bench [--quick] [--large] [--xlarge] [--xxlarge] [--profile] [--out PATH]
+//! mmdiag-bench [--quick] [--large] [--xlarge] [--xxlarge] [--profile] [--throughput] [--out PATH]
 //!   --quick   one (smallest) instance per family instead of the full
 //!             sweep; also skips the baseline on the largest instance per
 //!             family so the smoke run stays well under ~10 s. With
@@ -34,7 +34,18 @@
 //!             from --out (BENCH_6.json → BENCH_6-traces/). Every trace is
 //!             validated as JSON before it is written and its rollups are
 //!             embedded additively in the v2 records under "profile"
-//!   --out     output path (default BENCH_6.json in the working directory)
+//!   --throughput run the fleet axis after the sweep: 8 (4 with --quick)
+//!             concurrent Diagnoser sessions on separate threads — mixed
+//!             families and verification policies — all attached to the
+//!             process-wide MetricsHub, with sync-layer contention
+//!             profiling on. Reports diagnoses/sec, per-diagnosis
+//!             latency quantiles, the lock-wait/park/queue-depth
+//!             contention rollups and the instrumentation-overhead
+//!             verdict under the additive top-level "throughput" key,
+//!             and streams periodic MetricsHub deltas to
+//!             <out-stem>-stats.jsonl (interval MMDIAG_STATS ms,
+//!             default 200)
+//!   --out     output path (default BENCH_7.json in the working directory)
 //! ```
 //!
 //! At startup the binary recalibrates `diagnose_auto`'s sequential cutover
@@ -44,12 +55,12 @@
 #![forbid(unsafe_code)]
 
 use mmdiag_bench::{
-    calibrate_cutover, distsim_scenarios, full_catalog, large_catalog, small_catalog,
-    sweep_profiled, to_json, xlarge_catalog, xxlarge_catalog, ProfileConfig,
+    calibrate_cutover, distsim_scenarios, full_catalog, large_catalog, run_throughput,
+    small_catalog, sweep_profiled, to_json, xlarge_catalog, xxlarge_catalog, ProfileConfig,
 };
 
 /// The trajectory id this binary emits (`BENCH_<pr>`).
-const BENCH_ID: &str = "BENCH_6";
+const BENCH_ID: &str = "BENCH_7";
 
 fn main() {
     // `--quick` and MMDIAG_QUICK=1 are the same knob (parsed once for the
@@ -61,6 +72,7 @@ fn main() {
     let mut xlarge = false;
     let mut xxlarge = false;
     let mut profile = false;
+    let mut throughput_axis = false;
     let mut out_path = format!("{BENCH_ID}.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +82,7 @@ fn main() {
             "--xlarge" => xlarge = true,
             "--xxlarge" => xxlarge = true,
             "--profile" => profile = true,
+            "--throughput" => throughput_axis = true,
             "--out" => {
                 out_path = args
                     .next()
@@ -78,7 +91,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mmdiag-bench [--quick] [--large] [--xlarge] [--xxlarge] \
-                     [--profile] [--out PATH]"
+                     [--profile] [--throughput] [--out PATH]"
                 );
                 return;
             }
@@ -86,7 +99,7 @@ fn main() {
         }
     }
     // --profile writes one Chrome trace per cell next to the trajectory
-    // file: BENCH_6.json → BENCH_6-traces/.
+    // file: BENCH_7.json → BENCH_7-traces/.
     let profile_cfg = if profile {
         let stem = out_path.strip_suffix(".json").unwrap_or(&out_path);
         let dir = std::path::PathBuf::from(format!("{stem}-traces"));
@@ -214,6 +227,58 @@ fn main() {
         );
     }
 
+    // The --throughput fleet axis runs after the sweep so its contention
+    // window reflects only its own fleet, and streams live MetricsHub
+    // deltas to <stem>-stats.jsonl while it runs.
+    let throughput = if throughput_axis {
+        let stem = out_path.strip_suffix(".json").unwrap_or(&out_path);
+        let stats_path = format!("{stem}-stats.jsonl");
+        let interval_ms = mmdiag_exec::knobs().stats.unwrap_or(200);
+        let file = std::fs::File::create(&stats_path)
+            .unwrap_or_else(|e| die(&format!("cannot create {stats_path}: {e}")));
+        let reporter = mmdiag_exec::start_stats_reporter(
+            mmdiag_trace::MetricsHub::global(),
+            std::time::Duration::from_millis(interval_ms),
+            file,
+        )
+        .unwrap_or_else(|e| die(&format!("cannot start stats reporter: {e}")));
+        eprintln!(
+            "running --throughput fleet axis ({} concurrent sessions, stats every {interval_ms} ms -> {stats_path})…",
+            if quick { 4 } else { 8 },
+        );
+        let rec = run_throughput(quick);
+        reporter.stop();
+        // Every streamed line must be valid JSON — same bar as the
+        // Chrome traces the --profile axis writes.
+        let stream = std::fs::read_to_string(&stats_path)
+            .unwrap_or_else(|e| die(&format!("cannot read back {stats_path}: {e}")));
+        let samples = stream.lines().count();
+        for line in stream.lines() {
+            mmdiag_trace::export::validate_json(line)
+                .unwrap_or_else(|e| die(&format!("invalid stats line in {stats_path}: {e}")));
+        }
+        eprintln!(
+            "throughput: {:.1} diagnoses/s over {} sessions ({} diagnoses, p50 {} µs, p99 {} µs); \
+             lock-wait p99 {} ns over {} acquires; overhead {}; {} validated stats samples",
+            rec.diagnoses_per_sec,
+            rec.sessions,
+            rec.total_diagnoses,
+            rec.latency_ns.p50() / 1_000,
+            rec.latency_ns.p99() / 1_000,
+            rec.lock_wait_ns.p99(),
+            rec.lock_wait_ns.count,
+            if rec.overhead.within_tolerance {
+                "ok"
+            } else {
+                "REGRESSED"
+            },
+            samples,
+        );
+        Some(rec)
+    } else {
+        None
+    };
+
     let disagreements = records.iter().filter(|r| !r.agree).count()
         + records
             .iter()
@@ -228,9 +293,18 @@ fn main() {
             .filter(|r| r.sampled.as_ref().is_some_and(|c| !c.agree))
             .count()
         + batches.iter().filter(|b| !b.agree).count()
-        + scenarios.iter().filter(|s| !s.ok).count();
+        + scenarios.iter().filter(|s| !s.ok).count()
+        + throughput.as_ref().map_or(0, |t| {
+            t.disagreements as usize + usize::from(!t.overhead.within_tolerance)
+        });
     let small_regressions = records.iter().filter(|r| !r.auto_no_regression).count();
-    let json = to_json(BENCH_ID, &records, &batches, &scenarios);
+    let json = to_json(
+        BENCH_ID,
+        &records,
+        &batches,
+        &scenarios,
+        throughput.as_ref(),
+    );
     std::fs::write(&out_path, &json)
         .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
     eprintln!(

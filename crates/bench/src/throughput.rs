@@ -1,0 +1,290 @@
+//! The `--throughput` fleet axis: N concurrent [`Diagnoser`] sessions.
+//!
+//! Every other bench axis measures one session at a time; this one
+//! measures the *fleet* story ISSUE 9 adds — several sessions on separate
+//! threads, all attached to the process-wide
+//! [`mmdiag_trace::MetricsHub`], all contending for the shared
+//! [`mmdiag_exec`] pool with sync-layer contention profiling switched on.
+//! The record rolls up:
+//!
+//! * **throughput** — diagnoses per second across the whole fleet, wall
+//!   clock from first spawn to last join;
+//! * **latency** — a per-diagnosis wall-time histogram (p50/p90/p99 via
+//!   the shared log-bucket [`Histogram`]), every session recording into
+//!   one cell;
+//! * **contention** — the sync facade's lock-wait and condvar-park
+//!   histograms over exactly this window
+//!   ([`HistogramSummary::delta_since`] against a pre-run snapshot) plus
+//!   the queue-depth high-water gauges;
+//! * **correctness** — every diagnosis (timed runs and batched
+//!   submissions alike) is cross-checked against its planted fault set,
+//!   and the count of disagreements rides on the record;
+//! * **overhead** — the [`overhead_guard`] companion: a fully
+//!   instrumented single-session run must stay within the existing
+//!   [`REGRESSION_TOLERANCE`](crate::REGRESSION_TOLERANCE) of the bare
+//!   run on a small instance, so observability never becomes a tax the
+//!   sweep would flag as a regression elsewhere.
+//!
+//! The sessions deliberately mix instance families, backend-visible
+//! sizes and verification policies (none / sampled / full baseline) —
+//! fleet contention with homogeneous sessions would under-represent the
+//! lock-hold-time variance the profiler exists to expose.
+
+use crate::{best_of, scatter_faults, within_regression_tolerance};
+use mmdiag::syndrome::{OracleSyndrome, TesterBehavior};
+use mmdiag::topology::families::{CrossedCube, Hypercube, Pancake, StarGraph};
+use mmdiag::{BatchJob, Diagnoser};
+use mmdiag_trace::clock;
+use mmdiag_trace::{Histogram, HistogramSummary};
+use std::sync::Arc;
+
+/// The overhead verdict: a fully observed session (tracing + hub
+/// attachment + contention profiling) timed against the bare session on
+/// the same small instance, under the sweep's own regression tolerance.
+#[derive(Clone, Debug)]
+pub struct OverheadGuard {
+    /// Best-of-reps wall time of the uninstrumented run.
+    pub bare_nanos: u128,
+    /// Best-of-reps wall time of the fully instrumented run.
+    pub instrumented_nanos: u128,
+    /// `instrumented` within [`crate::REGRESSION_TOLERANCE`] (or the
+    /// absolute noise floor) of `bare` — the same verdict the sweep's
+    /// `no_regression` flag uses.
+    pub within_tolerance: bool,
+}
+
+/// One `--throughput` axis outcome, rendered additively into the v2
+/// trajectory document under the top-level `"throughput"` key.
+#[derive(Clone, Debug)]
+pub struct ThroughputRecord {
+    /// Concurrent sessions in the fleet.
+    pub sessions: usize,
+    /// Submission rounds each session ran.
+    pub rounds: usize,
+    /// Diagnoses per round per session (timed runs + batched jobs).
+    pub jobs_per_round: usize,
+    /// Total diagnoses completed across the fleet.
+    pub total_diagnoses: u64,
+    /// Wall time of the whole fleet window, first spawn to last join.
+    pub wall_nanos: u128,
+    /// `total_diagnoses / wall_nanos`, in diagnoses per second.
+    pub diagnoses_per_sec: f64,
+    /// Per-diagnosis wall time (timed `run` calls only — batch
+    /// submissions amortise their timing and would skew the quantiles).
+    pub latency_ns: HistogramSummary,
+    /// Sync-facade lock-acquire wait time over exactly this window.
+    pub lock_wait_ns: HistogramSummary,
+    /// Sync-facade condvar park time over exactly this window.
+    pub park_ns: HistogramSummary,
+    /// High-water mark of the pool's injector queue depth gauge.
+    pub injector_depth_peak: u64,
+    /// High-water mark of the per-worker deque depth gauge.
+    pub deque_depth_peak: u64,
+    /// Diagnoses whose result (or verification verdict) disagreed with
+    /// the planted truth. Folded into the binary's exit code.
+    pub disagreements: u64,
+    /// The single-session instrumentation-overhead verdict.
+    pub overhead: OverheadGuard,
+}
+
+/// Timed `Diagnoser::run` calls per session per round.
+const RUNS_PER_ROUND: usize = 3;
+/// Planted jobs in each session's per-round batched submission.
+const BATCH_JOBS: usize = 2;
+
+/// Build session `i`'s diagnoser: instance family by `i % 4`, backend
+/// pooled (the fleet contends for the shared global pool — the point),
+/// verification policy by `i % 3`, hub-attached as `"throughput-{i}"`.
+fn fleet_session(i: usize) -> Diagnoser<'static> {
+    let session = match i % 4 {
+        0 => Diagnoser::cached(&Hypercube::new(7)),
+        1 => Diagnoser::cached(&CrossedCube::new(7)),
+        2 => Diagnoser::cached(&StarGraph::new(6)),
+        _ => Diagnoser::cached(&Pancake::new(6)),
+    };
+    let session = match i % 3 {
+        0 => session,
+        1 => session.verify_sampled(2, 11 + i as u64),
+        _ => session.verify_full(),
+    };
+    session.pooled().stats(&format!("throughput-{i}"))
+}
+
+/// Run one fleet session to completion: `rounds` rounds of individually
+/// timed runs plus one batched submission, every outcome cross-checked
+/// against its planted fault set. Returns (diagnoses, disagreements).
+fn run_fleet_session(i: usize, rounds: usize, latency: Arc<Histogram>) -> (u64, u64) {
+    let session = fleet_session(i);
+    let n = session.topology().node_count();
+    let bound = session.topology().driver_fault_bound();
+    let fault_count = bound.clamp(1, 3);
+    let mut diagnoses = 0u64;
+    let mut disagreements = 0u64;
+    for round in 0..rounds {
+        for j in 0..RUNS_PER_ROUND {
+            let salt = (i * 1009 + round * 97 + j) as u64;
+            let faults = scatter_faults(n, fault_count, salt);
+            let expected = faults.members().to_vec();
+            let s = OracleSyndrome::new(faults, TesterBehavior::AllZero);
+            let t0 = clock::now_ns();
+            let out = session.run(&s);
+            latency.record(clock::now_ns().saturating_sub(t0));
+            diagnoses += 1;
+            let ok = out
+                .map(|r| r.diagnosis.faults == expected && r.verification.agreed_or_unverified())
+                .unwrap_or(false);
+            if !ok {
+                disagreements += 1;
+            }
+        }
+        let planted: Vec<_> = (0..BATCH_JOBS)
+            .map(|j| scatter_faults(n, fault_count, (i * 5003 + round * 31 + j) as u64))
+            .collect();
+        let jobs: Vec<BatchJob> = planted
+            .iter()
+            .map(|f| BatchJob::Planted {
+                faults: f.clone(),
+                behavior: TesterBehavior::AllZero,
+            })
+            .collect();
+        for (f, out) in planted.iter().zip(session.submit_batch(&jobs)) {
+            diagnoses += 1;
+            let ok = out.map(|o| o.faults() == f.members()).unwrap_or(false);
+            if !ok {
+                disagreements += 1;
+            }
+        }
+    }
+    (diagnoses, disagreements)
+}
+
+/// Run the `--throughput` fleet axis: 4 (`quick`) or 8 concurrent
+/// sessions on separate named threads, contention profiling forced on
+/// for the window (restored afterwards), all contention deltas scoped to
+/// exactly this window. Includes the [`overhead_guard`] verdict.
+pub fn run_throughput(quick: bool) -> ThroughputRecord {
+    // The overhead guard runs *before* the fleet window so its bare leg
+    // is not polluted by leftover profiling state.
+    let overhead = overhead_guard();
+
+    let sessions = if quick { 4 } else { 8 };
+    let rounds = if quick { 2 } else { 3 };
+
+    let was_profiling = mmdiag_exec::contention_enabled();
+    mmdiag_exec::set_contention_profiling(true);
+    let sync = mmdiag_exec::sync_stats();
+    let lock_before = sync.lock_wait_ns.snapshot();
+    let park_before = sync.park_ns.snapshot();
+
+    let latency = Arc::new(Histogram::new());
+    let t0 = clock::now_ns();
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            let latency = Arc::clone(&latency);
+            mmdiag_exec::sync::thread::spawn_named(format!("throughput-{i}"), move || {
+                run_fleet_session(i, rounds, latency)
+            })
+            .expect("spawn fleet session thread")
+        })
+        .collect();
+    let mut total_diagnoses = 0u64;
+    let mut disagreements = 0u64;
+    for h in handles {
+        let (d, bad) = h.join().expect("fleet session thread panicked");
+        total_diagnoses += d;
+        disagreements += bad;
+    }
+    let wall_nanos = u128::from(clock::now_ns().saturating_sub(t0)).max(1);
+
+    let lock_wait_ns = sync.lock_wait_ns.snapshot().delta_since(&lock_before);
+    let park_ns = sync.park_ns.snapshot().delta_since(&park_before);
+    let record = ThroughputRecord {
+        sessions,
+        rounds,
+        jobs_per_round: RUNS_PER_ROUND + BATCH_JOBS,
+        total_diagnoses,
+        wall_nanos,
+        diagnoses_per_sec: total_diagnoses as f64 * 1e9 / wall_nanos as f64,
+        latency_ns: latency.snapshot(),
+        lock_wait_ns,
+        park_ns,
+        injector_depth_peak: sync.injector_depth.max(),
+        deque_depth_peak: sync.deque_depth.max(),
+        disagreements,
+        overhead,
+    };
+    if !was_profiling {
+        mmdiag_exec::set_contention_profiling(false);
+    }
+    record
+}
+
+/// Time one small-instance diagnosis bare (no tracing, contention
+/// profiling off) and once fully instrumented (tracing session, hub
+/// attachment, contention profiling on), best-of-reps each, and apply
+/// the sweep's own `no_regression` verdict. Restores the profiling flag
+/// it found.
+pub fn overhead_guard() -> OverheadGuard {
+    let was_profiling = mmdiag_exec::contention_enabled();
+    let g = Hypercube::new(7);
+    let faults = scatter_faults(128, 3, 0xBEEF);
+    let expected = faults.members().to_vec();
+    let s = OracleSyndrome::new(faults, TesterBehavior::AllZero);
+
+    mmdiag_exec::set_contention_profiling(false);
+    let bare_session = Diagnoser::new(&g).pooled();
+    let (bare_nanos, report) = best_of(|| bare_session.run(&s).expect("bare run diagnoses"));
+    assert_eq!(report.diagnosis.faults, expected, "bare run agrees");
+
+    mmdiag_exec::set_contention_profiling(true);
+    let instrumented = Diagnoser::new(&g).pooled().stats("overhead-guard");
+    let (instrumented_nanos, report) =
+        best_of(|| instrumented.run(&s).expect("instrumented run diagnoses"));
+    assert_eq!(report.diagnosis.faults, expected, "instrumented run agrees");
+
+    mmdiag_exec::set_contention_profiling(was_profiling);
+    OverheadGuard {
+        bare_nanos,
+        instrumented_nanos,
+        within_tolerance: within_regression_tolerance(instrumented_nanos, bare_nanos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both tests toggle the process-wide contention-profiling flag —
+    /// serialise them so neither observes the other's window.
+    static FLEET_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn instrumentation_overhead_stays_within_the_sweep_tolerance() {
+        let _flag = FLEET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = overhead_guard();
+        assert!(guard.bare_nanos > 0 && guard.instrumented_nanos > 0);
+        assert!(
+            guard.within_tolerance,
+            "fully instrumented single-session run regressed beyond tolerance: \
+             bare {} ns vs instrumented {} ns",
+            guard.bare_nanos, guard.instrumented_nanos
+        );
+    }
+
+    #[test]
+    fn quick_fleet_reports_throughput_and_no_disagreements() {
+        let _flag = FLEET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = run_throughput(true);
+        assert_eq!(rec.sessions, 4);
+        assert_eq!(
+            rec.total_diagnoses,
+            (rec.sessions * rec.rounds * rec.jobs_per_round) as u64
+        );
+        assert_eq!(rec.disagreements, 0, "fleet diagnoses all agree");
+        assert!(rec.diagnoses_per_sec > 0.0);
+        assert_eq!(rec.latency_ns.count, (rec.sessions * rec.rounds * 3) as u64);
+        // Contention profiling was on for the window: the pooled backend
+        // takes the injector lock at least once per diagnosis.
+        assert!(rec.lock_wait_ns.count > 0, "lock-wait histogram populated");
+    }
+}

@@ -28,11 +28,11 @@
 use crate::driver::{Diagnosis, DiagnosisError};
 use crate::session::{self, BackendPolicy, SessionOptions};
 use crate::set_builder::Workspace;
+use mmdiag_exec::sync::Mutex;
 use mmdiag_exec::Pool;
 use mmdiag_syndrome::SyndromeSource;
 use mmdiag_topology::Partitionable;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Default node count below which [`diagnose_auto`] stays sequential.
 ///
@@ -137,7 +137,11 @@ pub fn set_grow_cutover(nodes: usize) -> usize {
 /// the process-global grow cutover, so they can't race each other or any
 /// test that steers through [`grow_cutover`].
 #[cfg(test)]
-pub(crate) static GROW_KNOB_LOCK: Mutex<()> = Mutex::new(());
+pub(crate) fn grow_knob_lock() -> &'static Mutex<()> {
+    use std::sync::OnceLock;
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
 
 /// How a diagnosis should execute.
 #[derive(Clone, Copy)]
@@ -395,7 +399,7 @@ mod tests {
 
     #[test]
     fn grow_cutover_defaults_and_recalibrates() {
-        let _lock = GROW_KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _lock = grow_knob_lock().lock().unwrap_or_else(|e| e.into_inner());
         // No MMDIAG_GROW_CUTOVER in the test environment: the default
         // resolves.
         assert_eq!(grow_cutover(), GROW_CUTOVER_NODES);

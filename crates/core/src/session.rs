@@ -39,12 +39,12 @@
 use crate::driver::{Diagnosis, DiagnosisError};
 use crate::set_builder::{set_builder_in_part, GrowthCore, SetBuilderOutcome, Workspace};
 use crate::tree::SpanningTree;
+use mmdiag_exec::sync::Mutex;
 use mmdiag_exec::Pool;
 use mmdiag_syndrome::SyndromeSource;
 use mmdiag_topology::{NodeId, Partitionable, Topology};
 use mmdiag_trace::{checked_delta, Tracer, CAT_PHASE, PHASE_CERTIFY, PHASE_GROW, PHASE_PROBE};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// The §4.1 all-healthy certificate: the restricted probe tree grown at
 /// the certified part's representative, whose distinct internal
@@ -802,7 +802,7 @@ mod tests {
     fn pooled_frontier_growth_matches_sequential_and_traces_rounds() {
         use mmdiag_topology::Cached;
         use mmdiag_trace::{TraceConfig, TraceSummary, PHASE_GROW_ROUND};
-        let _lock = crate::backend::GROW_KNOB_LOCK
+        let _lock = crate::backend::grow_knob_lock()
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         let prev = crate::backend::grow_cutover();

@@ -21,6 +21,7 @@
 //! | `MMDIAG_SAMPLES` | positive integer | ignored (`None`) |
 //! | `MMDIAG_TRACE` | any non-empty value except `"0"` | `false` |
 //! | `MMDIAG_GROW_CUTOVER` | positive integer | ignored (`None`) |
+//! | `MMDIAG_STATS` | positive integer (milliseconds) | ignored (`None`) |
 
 use std::sync::OnceLock;
 
@@ -48,6 +49,12 @@ pub struct Knobs {
     /// keeps the sequential growth tail instead of the frontier-parallel
     /// sweep. `None` when unset, unparsable, or zero.
     pub grow_cutover: Option<usize>,
+    /// `MMDIAG_STATS` — sampling interval, in milliseconds, for the
+    /// fleet stats reporter (`mmdiag_exec::stats`): when set, consumers
+    /// that host a [`mmdiag_trace::MetricsHub`] stream merged metric
+    /// deltas as JSON lines at this cadence. `None` when unset,
+    /// unparsable, or zero (no reporter).
+    pub stats: Option<u64>,
 }
 
 impl Knobs {
@@ -61,6 +68,7 @@ impl Knobs {
         samples: Option<&str>,
         trace: Option<&str>,
         grow_cutover: Option<&str>,
+        stats: Option<&str>,
     ) -> Self {
         let truthy = |v: Option<&str>| v.is_some_and(|v| !v.is_empty() && v != "0");
         let positive = |v: Option<&str>| {
@@ -76,6 +84,9 @@ impl Knobs {
             samples_per_part: positive(samples),
             trace: truthy(trace),
             grow_cutover: positive(grow_cutover),
+            stats: stats
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&n| n > 0),
         }
     }
 
@@ -90,6 +101,7 @@ impl Knobs {
             get("MMDIAG_SAMPLES").as_deref(),
             get("MMDIAG_TRACE").as_deref(),
             get("MMDIAG_GROW_CUTOVER").as_deref(),
+            get("MMDIAG_STATS").as_deref(),
         )
     }
 }
@@ -109,13 +121,14 @@ mod tests {
 
     #[test]
     fn unset_environment_yields_defaults() {
-        let k = Knobs::parse(None, None, None, None, None, None);
+        let k = Knobs::parse(None, None, None, None, None, None, None);
         assert_eq!(k.pool_threads, None);
         assert_eq!(k.cutover, None);
         assert!(!k.quick);
         assert_eq!(k.samples_per_part, None);
         assert!(!k.trace);
         assert_eq!(k.grow_cutover, None);
+        assert_eq!(k.stats, None);
     }
 
     #[test]
@@ -127,6 +140,7 @@ mod tests {
             Some("5"),
             Some("1"),
             Some("65536"),
+            None,
         );
         assert_eq!(k.pool_threads, Some(6));
         assert_eq!(k.cutover, Some(2048));
@@ -138,7 +152,7 @@ mod tests {
 
     #[test]
     fn trace_flag_shares_quick_truthiness() {
-        let trace = |v| Knobs::parse(None, None, None, None, v, None).trace;
+        let trace = |v| Knobs::parse(None, None, None, None, v, None, None).trace;
         assert!(trace(Some("1")));
         assert!(trace(Some("chrome")));
         assert!(!trace(Some("0")));
@@ -149,16 +163,16 @@ mod tests {
     #[test]
     fn pool_threads_is_clamped_not_rejected() {
         assert_eq!(
-            Knobs::parse(Some("0"), None, None, None, None, None).pool_threads,
+            Knobs::parse(Some("0"), None, None, None, None, None, None).pool_threads,
             Some(1)
         );
         assert_eq!(
-            Knobs::parse(Some("999"), None, None, None, None, None).pool_threads,
+            Knobs::parse(Some("999"), None, None, None, None, None, None).pool_threads,
             Some(64)
         );
         // Whitespace survives the historical `.trim()` behaviour.
         assert_eq!(
-            Knobs::parse(Some(" 4 "), None, None, None, None, None).pool_threads,
+            Knobs::parse(Some(" 4 "), None, None, None, None, None, None).pool_threads,
             Some(4)
         );
     }
@@ -166,7 +180,7 @@ mod tests {
     #[test]
     fn malformed_integers_are_ignored() {
         for bad in ["", "abc", "-3", "1.5", "0x10", "1e3", "१०"] {
-            let k = Knobs::parse(Some(bad), Some(bad), None, Some(bad), None, Some(bad));
+            let k = Knobs::parse(Some(bad), Some(bad), None, Some(bad), None, Some(bad), None);
             assert_eq!(k.pool_threads, None, "pool_threads {bad:?}");
             assert_eq!(k.cutover, None, "cutover {bad:?}");
             assert_eq!(k.samples_per_part, None, "samples {bad:?}");
@@ -176,7 +190,7 @@ mod tests {
 
     #[test]
     fn zero_cutover_and_zero_samples_are_rejected() {
-        let k = Knobs::parse(None, Some("0"), None, Some("0"), None, Some("0"));
+        let k = Knobs::parse(None, Some("0"), None, Some("0"), None, Some("0"), None);
         assert_eq!(k.cutover, None, "a zero cutover would disable sequential");
         assert_eq!(k.samples_per_part, None);
         assert_eq!(
@@ -187,24 +201,35 @@ mod tests {
 
     #[test]
     fn grow_cutover_parses_like_cutover_but_independently() {
-        let k = Knobs::parse(None, Some("512"), None, None, None, Some(" 1048576 "));
+        let k = Knobs::parse(None, Some("512"), None, None, None, Some(" 1048576 "), None);
         assert_eq!(k.cutover, Some(512));
         assert_eq!(k.grow_cutover, Some(1048576), "trimmed and parsed");
-        let k = Knobs::parse(None, None, None, None, None, Some("7"));
+        let k = Knobs::parse(None, None, None, None, None, Some("7"), None);
         assert_eq!(k.cutover, None, "grow knob must not leak into cutover");
         assert_eq!(k.grow_cutover, Some(7));
+    }
+
+    #[test]
+    fn stats_interval_parses_positive_milliseconds_only() {
+        let stats = |v| Knobs::parse(None, None, None, None, None, None, v).stats;
+        assert_eq!(stats(Some("250")), Some(250));
+        assert_eq!(stats(Some(" 50 ")), Some(50), "trimmed like the others");
+        assert_eq!(stats(Some("0")), None, "zero would busy-spin the sampler");
+        assert_eq!(stats(Some("abc")), None);
+        assert_eq!(stats(Some("-5")), None);
+        assert_eq!(stats(None), None);
     }
 
     #[test]
     fn quick_flag_semantics_match_the_historical_parse() {
         // The bench binary historically treated any non-empty value except
         // "0" as on — including junk like "false".
-        assert!(Knobs::parse(None, None, Some("1"), None, None, None).quick);
-        assert!(Knobs::parse(None, None, Some("yes"), None, None, None).quick);
-        assert!(Knobs::parse(None, None, Some("false"), None, None, None).quick);
-        assert!(!Knobs::parse(None, None, Some("0"), None, None, None).quick);
-        assert!(!Knobs::parse(None, None, Some(""), None, None, None).quick);
-        assert!(!Knobs::parse(None, None, None, None, None, None).quick);
+        assert!(Knobs::parse(None, None, Some("1"), None, None, None, None).quick);
+        assert!(Knobs::parse(None, None, Some("yes"), None, None, None, None).quick);
+        assert!(Knobs::parse(None, None, Some("false"), None, None, None, None).quick);
+        assert!(!Knobs::parse(None, None, Some("0"), None, None, None, None).quick);
+        assert!(!Knobs::parse(None, None, Some(""), None, None, None, None).quick);
+        assert!(!Knobs::parse(None, None, None, None, None, None, None).quick);
     }
 
     #[test]

@@ -38,6 +38,13 @@
 //! uninstrumented pool carries no counters at all and its hot path is
 //! unchanged.
 //!
+//! The [`mod@sync`] facade additionally profiles **contention** when
+//! [`set_contention_profiling`] is on (instrumented pools turn it on):
+//! lock-acquire waits, condvar park durations and injector/deque queue
+//! depths land in the process-wide [`sync_stats`] cells, which any
+//! `mmdiag-trace` registry can adopt and the [`stats`] sampler thread
+//! (driven by the `MMDIAG_STATS` knob) can stream as JSON lines.
+//!
 //! ## Correctness tooling
 //!
 //! All synchronization goes through the [`mod@sync`] facade: a normal
@@ -72,12 +79,17 @@ pub mod model;
 mod ops;
 mod pool;
 mod scope;
+#[cfg(not(feature = "model"))]
+pub mod stats;
 pub mod sync;
 
 pub use claim::ClaimBits;
 pub use config::{knobs, Knobs};
 pub use pool::{Pool, PoolStats, WorkerStats};
 pub use scope::Scope;
+#[cfg(not(feature = "model"))]
+pub use stats::{start_stats_reporter, ReporterHandle};
+pub use sync::{contention_enabled, set_contention_profiling, sync_stats, SyncStats};
 
 use std::sync::OnceLock;
 

@@ -203,7 +203,14 @@ impl Shared {
         if let Some(t) = self.deques[idx].lock().unwrap().pop_back() {
             return Some(t);
         }
-        if let Some(t) = self.injector.lock().unwrap().pop_front() {
+        let mut injector = self.injector.lock().unwrap();
+        if let Some(t) = injector.pop_front() {
+            if crate::sync::contention_enabled() {
+                crate::sync::sync_stats()
+                    .injector_depth
+                    .set(injector.len() as u64);
+            }
+            drop(injector);
             if let Some(st) = &self.stats {
                 st.workers[idx]
                     .injector_pops
@@ -211,6 +218,7 @@ impl Shared {
             }
             return Some(t);
         }
+        drop(injector);
         let n = self.deques.len();
         for off in 1..n {
             let victim = (idx + off) % n;
@@ -304,8 +312,18 @@ pub struct Pool {
 impl Pool {
     /// Spawn a pool with `threads` workers (clamped to at least 1).
     /// Instrumented when the `MMDIAG_TRACE` knob is set, bare otherwise.
+    /// The knob also turns on process-wide contention profiling
+    /// ([`crate::sync::set_contention_profiling`]) — one `export` lights
+    /// up worker stats *and* the sync-layer histograms together.
+    /// ([`Pool::new_instrumented`] deliberately does not touch the global
+    /// flag: tests and the bench toggle it explicitly around the window
+    /// they measure.)
     pub fn new(threads: usize) -> Self {
-        Pool::with_stats(threads, crate::config::knobs().trace)
+        let instrument = crate::config::knobs().trace;
+        if instrument {
+            crate::sync::set_contention_profiling(true);
+        }
+        Pool::with_stats(threads, instrument)
     }
 
     /// Spawn an instrumented pool regardless of the `MMDIAG_TRACE` knob
@@ -379,9 +397,27 @@ impl Pool {
     /// Enqueue a lifetime-erased task: onto the current worker's own deque
     /// when called from inside the pool, else onto the injector.
     pub(crate) fn push_task(&self, task: Task) {
+        // Queue-depth gauges are read under the guard already held for
+        // the push itself — contention profiling adds no extra locking.
         match self.worker_index() {
-            Some(idx) => self.shared.deques[idx].lock().unwrap().push_back(task),
-            None => self.shared.injector.lock().unwrap().push_back(task),
+            Some(idx) => {
+                let mut deque = self.shared.deques[idx].lock().unwrap();
+                deque.push_back(task);
+                if crate::sync::contention_enabled() {
+                    crate::sync::sync_stats()
+                        .deque_depth
+                        .set(deque.len() as u64);
+                }
+            }
+            None => {
+                let mut injector = self.shared.injector.lock().unwrap();
+                injector.push_back(task);
+                if crate::sync::contention_enabled() {
+                    crate::sync::sync_stats()
+                        .injector_depth
+                        .set(injector.len() as u64);
+                }
+            }
         }
         self.shared.notify();
     }

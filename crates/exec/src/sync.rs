@@ -1,26 +1,45 @@
-//! The synchronization facade every module in this crate goes through.
+//! The synchronization facade every module in this crate goes through —
+//! now also the workspace's **contention profiling** layer.
 //!
-//! In a normal build (`cfg(not(feature = "model"))`) everything here is a
-//! zero-cost re-export of `std::sync` / `std::thread`, so the executor's
-//! runtime behaviour is **bit-identical** to using `std` directly — the
-//! facade compiles away entirely.
+//! In a normal build (`cfg(not(feature = "model"))`) the primitives
+//! underneath are `std::sync` / `std::thread`; with the `model` feature
+//! the same names resolve to the instrumented shim primitives in
+//! `crate::model`, so mutexes, condvars, atomics and thread spawning all
+//! become *scheduling points* of a deterministic bounded-interleaving
+//! scheduler (in the spirit of `loom`, hand-rolled because the build is
+//! offline).
 //!
-//! With the `model` feature enabled, the same names resolve to the
-//! instrumented shim primitives in `crate::model`: mutexes, condvars,
-//! atomics and thread spawning all become *scheduling points* of a
-//! deterministic bounded-interleaving scheduler, so the pool's
-//! park/steal/scope protocols can be exhaustively (small bounds) or
-//! randomly (seeded, deep) explored offline — in the spirit of `loom`,
-//! hand-rolled like the repo's vendored rand shims because the build is
-//! offline.
+//! On top of whichever implementation is active, [`Mutex`] and
+//! [`Condvar`] are thin wrappers that can profile contention:
+//!
+//! * [`Mutex::lock`] records the acquire wait into a process-wide
+//!   lock-wait histogram ([`SyncStats::lock_wait_ns`]);
+//! * [`Condvar::wait`] records the park duration into a park-duration
+//!   histogram ([`SyncStats::park_ns`]);
+//! * the pool updates injector/deque queue-depth gauges at its push/pop
+//!   sites ([`SyncStats::injector_depth`] / [`SyncStats::deque_depth`]).
+//!
+//! Profiling is **off by default** and gated by one process-wide flag
+//! ([`set_contention_profiling`]): the disabled path costs a single
+//! relaxed atomic load before delegating to the raw primitive — no clock
+//! read, no histogram touch. The flag and the stats cells are plain
+//! `std` atomics even under the `model` feature (they are observability,
+//! not protocol state), so enabling profiling adds **no scheduling
+//! points**: the interleaving explorer drives exactly the same state
+//! space either way, and the recorded *counts* are schedule-independent
+//! whenever the protocol's lock/wait counts are (asserted across ≥500
+//! interleavings in `tests/model.rs`).
 //!
 //! Rules of the facade:
 //!
 //! * `pool.rs`, `scope.rs`, `ops.rs` and `lib.rs` import **only** from
 //!   here — never `std::sync::{Mutex, Condvar}`, `std::sync::atomic`, or
-//!   `std::thread::{spawn, yield_now}` directly (`cargo run -p xtask --
-//!   lint` has no pass for this yet, but the model tests would silently
-//!   lose coverage for any primitive that bypassed the facade);
+//!   `std::thread::{spawn, yield_now}` directly. Since PR 9 the whole
+//!   *workspace* is held to the construction half of this rule by the
+//!   `sync-single-door` xtask lint pass: `std::sync::{Mutex, Condvar,
+//!   RwLock}` may only be constructed here, in the model shims, in test
+//!   code, and in `crates/trace` (which sits *below* this crate in the
+//!   dependency graph and cannot route through it without a cycle);
 //! * [`Arc`] is re-exported from `std` in both modes: reference counting
 //!   carries no scheduling decision the model needs to interleave;
 //! * `std::sync::OnceLock` (the `global()` pool, parsed knobs) stays on
@@ -28,6 +47,10 @@
 //!   protocols, and the global pool is never constructed under the model.
 
 pub use std::sync::Arc;
+
+use mmdiag_trace::clock;
+use mmdiag_trace::{Gauge, Histogram};
+use std::sync::OnceLock;
 
 #[cfg(not(feature = "model"))]
 mod imp {
@@ -60,4 +83,292 @@ mod imp {
     pub use crate::model::shim::{Condvar, Mutex, MutexGuard};
 }
 
-pub use imp::*;
+pub use imp::{atomic, thread, MutexGuard};
+
+/// `Result` of a lock-ish acquisition, matching the active
+/// implementation: `std`'s poisoning `LockResult` in normal builds, the
+/// shim's infallible `Result<_, Infallible>` under the model. Both
+/// support the workspace's `.lock().unwrap()` /
+/// `.unwrap_or_else(|e| e.into_inner())` call-site idioms.
+#[cfg(not(feature = "model"))]
+pub type LockResult<G> = std::sync::LockResult<G>;
+/// See the `not(feature = "model")` definition.
+#[cfg(feature = "model")]
+pub type LockResult<G> = Result<G, std::convert::Infallible>;
+
+/// The process-wide contention stats the facade records into. All cells
+/// are `mmdiag-trace` metrics, `Arc`-held so the bench, the umbrella
+/// session and the [`mmdiag_trace::MetricsHub`] can adopt the *same*
+/// cells into registries (one tally, many readers).
+pub struct SyncStats {
+    /// Time from requesting a [`Mutex`] lock to holding it, nanoseconds.
+    pub lock_wait_ns: Arc<Histogram>,
+    /// Time spent parked in a [`Condvar::wait`], nanoseconds.
+    pub park_ns: Arc<Histogram>,
+    /// Depth of the pool's shared injector queue, sampled at push/pop.
+    pub injector_depth: Arc<Gauge>,
+    /// Depth of a worker deque, sampled at push (max across workers).
+    pub deque_depth: Arc<Gauge>,
+}
+
+impl SyncStats {
+    /// A fresh, empty stats block. The process normally records into the
+    /// shared [`sync_stats`] block; tests (and the model suite's
+    /// `profiled` primitives) create their own for isolation.
+    pub fn new() -> Self {
+        SyncStats {
+            lock_wait_ns: Arc::new(Histogram::new()),
+            park_ns: Arc::new(Histogram::new()),
+            injector_depth: Arc::new(Gauge::new()),
+            deque_depth: Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Register all four cells into `registry` under their canonical
+    /// `sync.*` names (adopting the shared cells, not copying).
+    pub fn register_into(&self, registry: &mmdiag_trace::MetricsRegistry) {
+        registry.register_histogram("sync.lock_wait_ns", Arc::clone(&self.lock_wait_ns));
+        registry.register_histogram("sync.park_ns", Arc::clone(&self.park_ns));
+        registry.register_gauge("sync.injector_depth", Arc::clone(&self.injector_depth));
+        registry.register_gauge("sync.deque_depth", Arc::clone(&self.deque_depth));
+    }
+}
+
+impl Default for SyncStats {
+    fn default() -> Self {
+        SyncStats::new()
+    }
+}
+
+/// The contention-profiling flag. Deliberately a *std* atomic in both
+/// cfg modes: reading it must never be a model scheduling point, or
+/// enabling profiling would change the explored state space.
+static CONTENTION: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Whether facade primitives currently record contention stats. This is
+/// the one load the disabled hot path pays.
+#[inline]
+pub fn contention_enabled() -> bool {
+    CONTENTION.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Turn contention profiling on or off, process-wide and immediately —
+/// existing mutexes/condvars (the global pool included) start or stop
+/// recording on their next operation. The stats are cumulative while
+/// enabled; diff snapshots ([`mmdiag_trace::HistogramSummary::delta_since`])
+/// to attribute them to one window.
+pub fn set_contention_profiling(on: bool) {
+    CONTENTION.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The process-wide [`SyncStats`], created on first use.
+pub fn sync_stats() -> &'static SyncStats {
+    static STATS: OnceLock<SyncStats> = OnceLock::new();
+    STATS.get_or_init(SyncStats::new)
+}
+
+/// A mutex behind the facade: the active implementation's mutex plus
+/// optional lock-wait profiling (see the module docs).
+pub struct Mutex<T> {
+    inner: imp::Mutex<T>,
+    /// Model builds only: an explicit per-instance stats override, so
+    /// the schedule-independence tests can count *their* protocol's
+    /// operations in isolation from every other test's facade traffic.
+    #[cfg(feature = "model")]
+    stats: Option<Arc<SyncStats>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a facade mutex holding `t`.
+    pub fn new(t: T) -> Self {
+        Mutex {
+            inner: imp::Mutex::new(t),
+            #[cfg(feature = "model")]
+            stats: None,
+        }
+    }
+
+    /// Model builds only: a mutex that records every lock acquire into
+    /// `stats` unconditionally (no global flag involved).
+    #[cfg(feature = "model")]
+    pub fn profiled(t: T, stats: Arc<SyncStats>) -> Self {
+        Mutex {
+            inner: imp::Mutex::new(t),
+            stats: Some(stats),
+        }
+    }
+
+    #[inline]
+    fn record_into(&self) -> Option<&SyncStats> {
+        #[cfg(feature = "model")]
+        if let Some(s) = self.stats.as_deref() {
+            return Some(s);
+        }
+        contention_enabled().then(sync_stats)
+    }
+
+    /// Lock, recording the acquire wait when profiling is enabled.
+    pub fn lock(&self) -> LockResult<imp::MutexGuard<'_, T>> {
+        let Some(stats) = self.record_into() else {
+            return self.inner.lock();
+        };
+        let start = clock::now_ns();
+        let r = self.inner.lock();
+        stats
+            .lock_wait_ns
+            .record(clock::now_ns().saturating_sub(start));
+        r
+    }
+
+    /// Consume the mutex, returning its data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// A condvar behind the facade: the active implementation's condvar plus
+/// optional park-duration profiling.
+pub struct Condvar {
+    inner: imp::Condvar,
+    /// See [`Mutex::stats`].
+    #[cfg(feature = "model")]
+    stats: Option<Arc<SyncStats>>,
+}
+
+impl Condvar {
+    /// Create a facade condvar.
+    pub fn new() -> Self {
+        Condvar {
+            inner: imp::Condvar::new(),
+            #[cfg(feature = "model")]
+            stats: None,
+        }
+    }
+
+    /// Model builds only: a condvar that records every park into
+    /// `stats` unconditionally.
+    #[cfg(feature = "model")]
+    pub fn profiled(stats: Arc<SyncStats>) -> Self {
+        Condvar {
+            inner: imp::Condvar::new(),
+            stats: Some(stats),
+        }
+    }
+
+    #[inline]
+    fn record_into(&self) -> Option<&SyncStats> {
+        #[cfg(feature = "model")]
+        if let Some(s) = self.stats.as_deref() {
+            return Some(s);
+        }
+        contention_enabled().then(sync_stats)
+    }
+
+    /// Park until notified, releasing `guard` while parked; records the
+    /// park duration when profiling is enabled.
+    pub fn wait<'a, T>(&self, guard: imp::MutexGuard<'a, T>) -> LockResult<imp::MutexGuard<'a, T>> {
+        let Some(stats) = self.record_into() else {
+            return self.inner.wait(guard);
+        };
+        let start = clock::now_ns();
+        let r = self.inner.wait(guard);
+        stats.park_ns.record(clock::now_ns().saturating_sub(start));
+        r
+    }
+
+    /// Wake one parked waiter, if any.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+#[cfg(all(test, not(feature = "model")))]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that toggle the process-global profiling flag.
+    static FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disabled_profiling_records_nothing() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        set_contention_profiling(false);
+        let before = sync_stats().lock_wait_ns.snapshot().count;
+        let m = Mutex::new(1u32);
+        for _ in 0..10 {
+            *m.lock().unwrap() += 1;
+        }
+        assert_eq!(*m.lock().unwrap(), 11);
+        assert_eq!(sync_stats().lock_wait_ns.snapshot().count, before);
+    }
+
+    #[test]
+    fn enabled_profiling_counts_every_acquire_and_park() {
+        let _guard = FLAG_LOCK.lock().unwrap();
+        set_contention_profiling(true);
+        let lock_before = sync_stats().lock_wait_ns.snapshot().count;
+        let park_before = sync_stats().park_ns.snapshot().count;
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        // One waiter parks until the flag flips.
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let h = thread::spawn_named("sync-test-waiter".into(), move || {
+            let mut g = m2.lock().unwrap();
+            while !*g {
+                g = cv2.wait(g).unwrap();
+            }
+        })
+        .unwrap();
+        // Give the waiter a chance to park, then release it.
+        for _ in 0..100 {
+            thread::yield_now();
+        }
+        *m.lock().unwrap() = true;
+        cv.notify_all();
+        h.join().unwrap();
+        set_contention_profiling(false);
+        let locks = sync_stats().lock_wait_ns.snapshot().count - lock_before;
+        // At least: waiter's initial lock, the setter's lock, and the
+        // re-acquire inside every wait (other tests may add more).
+        assert!(locks >= 2, "locks recorded: {locks}");
+        assert!(
+            sync_stats().park_ns.snapshot().count >= park_before,
+            "park histogram must never go backwards"
+        );
+        let s = sync_stats().lock_wait_ns.snapshot();
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    }
+
+    #[test]
+    fn sync_stats_register_under_canonical_names() {
+        let reg = mmdiag_trace::MetricsRegistry::new();
+        sync_stats().register_into(&reg);
+        let names: Vec<String> = reg.snapshot().into_iter().map(|m| m.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "sync.lock_wait_ns",
+                "sync.park_ns",
+                "sync.injector_depth",
+                "sync.deque_depth"
+            ]
+        );
+    }
+}

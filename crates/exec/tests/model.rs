@@ -388,6 +388,84 @@ fn pool_instrumented_counters_are_schedule_independent() {
     );
 }
 
+/// Contention-profiled primitives under exploration: the facade's
+/// `Mutex::profiled` / `Condvar::profiled` record into an isolated
+/// `SyncStats` block (plain std atomics — no new scheduling points), so
+/// with two threads taking a profiled lock three times each, **every**
+/// explored interleaving must record exactly six lock-wait samples, the
+/// histogram must stay internally consistent, and the protected data
+/// must come out right. Park counts are inherently schedule-*dependent*
+/// (a waiter that loses the race to the notify never parks), so for the
+/// profiled condvar the invariant is a tight range plus histogram
+/// consistency, not an exact count. ≥ 500 distinct interleavings.
+#[test]
+fn profiled_sync_counters_are_schedule_independent() {
+    use mmdiag_exec::SyncStats;
+    let report = check_random(0xC0A7_E57A, 600, Config::deep(), || {
+        // Two threads, three profiled acquisitions each.
+        let stats = Arc::new(SyncStats::new());
+        let m = Arc::new(Mutex::profiled(0usize, Arc::clone(&stats)));
+        let lockers: Vec<_> = (0..2)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                thread::spawn_named(format!("locker-{t}"), move || {
+                    for _ in 0..3 {
+                        *m.lock().unwrap() += 1;
+                    }
+                })
+                .unwrap()
+            })
+            .collect();
+        for h in lockers {
+            h.join().unwrap();
+        }
+        let waits = stats.lock_wait_ns.snapshot();
+        assert_eq!(waits.count, 6, "2 threads x 3 locks, whatever the schedule");
+        assert_eq!(waits.buckets.iter().sum::<u64>(), 6);
+        let m = Arc::try_unwrap(m).ok().expect("all lockers joined");
+        assert_eq!(m.into_inner().unwrap(), 6);
+
+        // A profiled condvar on the sanctioned park protocol (sleeper
+        // registered under the sleep lock before the re-check).
+        struct Gate {
+            ready: Mutex<bool>,
+            wake: Condvar,
+        }
+        let park_stats = Arc::new(SyncStats::new());
+        let gate = Arc::new(Gate {
+            ready: Mutex::new(false),
+            wake: Condvar::profiled(Arc::clone(&park_stats)),
+        });
+        let setter = {
+            let gate = Arc::clone(&gate);
+            thread::spawn_named("setter".into(), move || {
+                *gate.ready.lock().unwrap() = true;
+                gate.wake.notify_all();
+            })
+            .unwrap()
+        };
+        let mut guard = gate.ready.lock().unwrap();
+        while !*guard {
+            guard = gate.wake.wait(guard).unwrap();
+        }
+        drop(guard);
+        setter.join().unwrap();
+        let parks = park_stats.park_ns.snapshot();
+        assert!(
+            parks.count <= 1,
+            "one notify releases the loop after at most one park, got {}",
+            parks.count
+        );
+        assert_eq!(parks.buckets.iter().sum::<u64>(), parks.count);
+    });
+    report.assert_ok();
+    assert!(
+        report.distinct_interleavings >= 500,
+        "explored only {} distinct interleavings",
+        report.distinct_interleavings
+    );
+}
+
 /// A faithful replica of the frontier growth claim/resolve/merge protocol
 /// from `mmdiag-core`'s parallel `Set_Builder` sweep: two frontier shards
 /// race to claim candidate nodes through [`ClaimBits::try_claim`], the

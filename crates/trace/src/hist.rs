@@ -156,6 +156,37 @@ impl HistogramSummary {
         }
     }
 
+    /// The recordings that happened between `earlier` and `self`, as a
+    /// summary of their own: counts, sums and buckets subtract pairwise
+    /// (saturating, with a debug assertion that the cumulative reading
+    /// really is monotone — the histogram atomics never decrease).
+    ///
+    /// `min`/`max` are **not** restorable from two cumulative readings,
+    /// so the delta keeps `self`'s observed extremes: quantiles of a
+    /// delta clamp into the cumulative range, which can only widen them.
+    /// This is what the periodic stats sampler and the bench contention
+    /// rollups use to attribute recordings to one window.
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        debug_assert!(
+            self.count >= earlier.count,
+            "cumulative histogram went backwards: {} < {}",
+            self.count,
+            earlier.count
+        );
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        HistogramSummary {
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: if count == 0 { 0 } else { self.min },
+            max: if count == 0 { 0 } else { self.max },
+            buckets,
+        }
+    }
+
     /// Mean recorded value, rounded down (0 when empty).
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
@@ -319,6 +350,30 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn delta_since_recovers_a_window() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3] {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for v in [100u64, 200] {
+            h.record(v);
+        }
+        let after = h.snapshot();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 300);
+        assert_eq!(delta.buckets.iter().sum::<u64>(), 2);
+        // Extremes stay cumulative (documented): min is the overall min.
+        assert_eq!(delta.min, 1);
+        assert_eq!(delta.max, 200);
+        // An empty window is the empty summary.
+        assert_eq!(after.delta_since(&after), HistogramSummary::empty());
+        // Identity: delta against the empty summary is the reading itself.
+        assert_eq!(after.delta_since(&HistogramSummary::empty()), after);
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! * **Metrics** ([`Counter`], [`Gauge`], [`Histogram`],
 //!   [`MetricsRegistry`]) — atomic counters/gauges and a log-bucketed
 //!   histogram with mergeable snapshots and factor-of-two quantiles.
+//! * **Fleet hub** ([`MetricsHub`], [`StatsReporter`]) — per-session
+//!   registries attach to one process-wide hub that merges them into a
+//!   fleet snapshot (counters summed, gauges last-write, histograms
+//!   merged) and streams periodic JSON-lines deltas; the sampler thread
+//!   itself lives in `mmdiag_exec` (thread single door), driven by the
+//!   `MMDIAG_STATS` knob.
 //! * **Exporters** ([`export`]) — JSON-lines and Chrome trace-event
 //!   format (loadable in `chrome://tracing` / Perfetto), plus
 //!   [`export::validate_json`] so CI can check emitted traces parse
@@ -35,9 +41,12 @@
 pub mod clock;
 pub mod export;
 mod hist;
+mod hub;
 mod metrics;
 mod sink;
 mod summary;
+
+pub use hub::{merge_snapshots, HubSession, MetricsHub, StatsReporter};
 
 pub use hist::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSummary, BUCKETS,

@@ -172,6 +172,15 @@ impl MetricsRegistry {
         }
     }
 
+    /// Adopt an existing gauge under `name` (e.g. the sync facade's
+    /// queue-depth gauges, owned by the executor and exported here).
+    pub fn register_gauge(&self, name: &str, gauge: Arc<Gauge>) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(gauge)) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
     /// Get or create the histogram `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
@@ -255,15 +264,20 @@ mod tests {
         owned.add(7);
         let adopted = reg.register_counter("oracle.lookups", Arc::clone(&owned));
         assert!(Arc::ptr_eq(&owned, &adopted));
+        let owned_gauge = Arc::new(Gauge::new());
+        let adopted_gauge = reg.register_gauge("sync.depth", Arc::clone(&owned_gauge));
+        assert!(Arc::ptr_eq(&owned_gauge, &adopted_gauge));
+        owned_gauge.set(2);
         reg.gauge("depth").set(4);
         reg.histogram("h").record(100);
         let snap = reg.snapshot();
-        assert_eq!(snap.len(), 4);
+        assert_eq!(snap.len(), 5);
         assert_eq!(snap[0].name, "x");
         assert_eq!(snap[0].value, MetricValue::Counter(3));
         assert_eq!(snap[1].value, MetricValue::Counter(7));
-        assert_eq!(snap[2].value, MetricValue::Gauge(4, 4));
-        match &snap[3].value {
+        assert_eq!(snap[2].value, MetricValue::Gauge(2, 2));
+        assert_eq!(snap[3].value, MetricValue::Gauge(4, 4));
+        match &snap[4].value {
             MetricValue::Histogram(h) => assert_eq!(h.count, 1),
             other => panic!("{other:?}"),
         }

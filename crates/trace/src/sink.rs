@@ -103,7 +103,10 @@ impl Ring {
 pub struct TraceSink {
     shards: Vec<Mutex<Ring>>,
     dropped: AtomicU64,
-    metrics: MetricsRegistry,
+    /// `Arc`-held so a session can hand the *same* registry to the
+    /// process-wide [`crate::MetricsHub`] (fleet aggregation) while the
+    /// sink keeps recording into it.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl TraceSink {
@@ -115,7 +118,7 @@ impl TraceSink {
                 .map(|_| Mutex::new(Ring::new(capacity)))
                 .collect(),
             dropped: AtomicU64::new(0),
-            metrics: MetricsRegistry::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
@@ -199,7 +202,14 @@ impl Tracer {
 
     /// The tracer's metrics registry, when enabled.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
-        self.sink.as_deref().map(|s| &s.metrics)
+        self.sink.as_deref().map(|s| &*s.metrics)
+    }
+
+    /// A shareable handle to the same registry, when enabled — the form
+    /// [`crate::MetricsHub::attach`] adopts, so the hub and the sink read
+    /// one set of cells rather than two copies.
+    pub fn metrics_handle(&self) -> Option<Arc<MetricsRegistry>> {
+        self.sink.as_deref().map(|s| Arc::clone(&s.metrics))
     }
 
     /// Events overwritten because a ring was full.
@@ -376,5 +386,10 @@ mod tests {
         t.metrics().unwrap().counter("c").add(5);
         let snap = t.metrics().unwrap().snapshot();
         assert_eq!(snap.len(), 1);
+        // The shareable handle reads the same cells, not a copy.
+        let handle = t.metrics_handle().unwrap();
+        handle.counter("c").add(2);
+        assert_eq!(t.metrics().unwrap().counter("c").get(), 7);
+        assert!(Tracer::disabled().metrics_handle().is_none());
     }
 }

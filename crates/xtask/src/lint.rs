@@ -391,6 +391,42 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
         }
     }
 
+    // Pass: blocking synchronisation primitives stay behind the
+    // `mmdiag_exec::sync` facade — the single door that gives the
+    // `model` feature its interleaving shims and the contention profiler
+    // its lock-wait/park histograms. A `std::sync::Mutex` constructed
+    // anywhere else is invisible to both. Exempt: the facade itself and
+    // the model shims it fronts; `crates/trace` (below the executor in
+    // the dependency graph — routing through the facade would be a
+    // cycle); test files and `#[cfg(test)]` modules (test-local
+    // serialisation locks are not protocol state). `MutexGuard` &c. do
+    // not match: the token search is word-bounded.
+    const SYNC_TOKENS: &[&str] = &["Mutex", "Condvar", "RwLock"];
+    let sync_exempt = rel == "crates/exec/src/sync.rs"
+        || rel.starts_with("crates/exec/src/model")
+        || rel.starts_with("crates/trace/")
+        || is_test_file;
+    if !sync_exempt {
+        for (idx, line) in code_lines.iter().enumerate() {
+            if mask[idx] || find_token(line, "std::sync").is_none() {
+                continue;
+            }
+            for tok in SYNC_TOKENS {
+                if find_token(line, tok).is_some() {
+                    findings.push(at(
+                        idx,
+                        "sync-single-door",
+                        format!(
+                            "`std::sync::{tok}` outside `crates/exec/src/sync.rs` — construct \
+                             it through the `mmdiag_exec::sync` facade so the model scheduler \
+                             and the contention profiler both see it"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
     // Pass: the implicit scale path never materialises a CSR. The
     // frontier growth engine is held to the same invariant: it serves
     // implicit topologies at `--xxlarge` (Q_27, 10⁸-node) scale, where a
@@ -699,6 +735,58 @@ mod tests {
         // Prose about the token does not count.
         let doc = "//! Wraps Instant::now behind one door.\nfn g() {}\n";
         assert!(lint_source("crates/core/src/session.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn std_sync_primitives_outside_the_facade_are_flagged() {
+        let src = "use std::sync::Mutex;\n\
+                   fn f() {\n    let m = std::sync::Mutex::new(0);\n    \
+                   let c: std::sync::Condvar = Default::default();\n    \
+                   let r = std::sync::RwLock::new(1);\n}\n";
+        let found = lint_source("crates/core/src/backend.rs", src);
+        assert_eq!(
+            passes(&found),
+            vec![
+                "sync-single-door",
+                "sync-single-door",
+                "sync-single-door",
+                "sync-single-door"
+            ]
+        );
+        assert_eq!(found[0].line, 1);
+        // The facade itself, the shims it fronts, and the trace crate
+        // (below the executor in the dependency graph) are the doors.
+        assert!(lint_source("crates/exec/src/sync.rs", src).is_empty());
+        assert!(lint_source("crates/exec/src/model/shim.rs", src).is_empty());
+        assert!(lint_source("crates/trace/src/metrics.rs", src).is_empty());
+        // Test files and `#[cfg(test)]` modules may serialise freely.
+        assert!(lint_source("crates/exec/tests/model.rs", src).is_empty());
+        let test_only = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n    \
+                         static L: Mutex<()> = Mutex::new(());\n}\n";
+        assert!(lint_source("crates/core/src/backend.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn facade_guards_and_other_std_sync_items_do_not_trip_the_sync_pass() {
+        // `MutexGuard` is not `Mutex` (word boundaries), `OnceLock`/`Arc`
+        // imports are sanctioned, and prose about the token is ignored.
+        let src = "//! Discusses std::sync::Mutex at length.\n\
+                   use std::sync::OnceLock;\n\
+                   use std::sync::Arc;\n\
+                   use std::sync::atomic::AtomicBool;\n\
+                   fn f(g: &mmdiag_exec::sync::MutexGuard<'_, u32>) {}\n\
+                   fn g() { let s = \"std::sync::Mutex\"; }\n";
+        assert!(lint_source("crates/core/src/backend.rs", src).is_empty());
+        // A facade `Mutex` on a line that also mentions `std::sync` for
+        // an unrelated item is the one shape the AND-rule tolerates only
+        // when split across lines — keep them apart.
+        let combined = "fn f() { let l: std::sync::OnceLock<Mutex<()>> = todo!(); }\n";
+        assert_eq!(
+            passes(&lint_source("crates/core/src/backend.rs", combined)),
+            vec!["sync-single-door"],
+            "std::sync and a primitive token on one line is flagged even if the \
+             primitive is the facade's — split the import"
+        );
     }
 
     #[test]

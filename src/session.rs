@@ -60,7 +60,7 @@ use mmdiag_distsim::{simulate_unchecked, FaultTimeline, LatencyModel, SimError, 
 use mmdiag_implicit::ImplicitTopology;
 use mmdiag_syndrome::{FaultSet, OnDemandOracle, OracleSyndrome, SyndromeSource, TesterBehavior};
 use mmdiag_topology::{Cached, NodeId, Partitionable};
-use mmdiag_trace::{TraceConfig, Tracer};
+use mmdiag_trace::{HubSession, MetricsHub, MetricsRegistry, TraceConfig, Tracer};
 use std::sync::OnceLock;
 
 /// Where a session's topology comes from: a caller-borrowed instance, or
@@ -278,6 +278,9 @@ pub struct Diagnoser<'g> {
     /// Lazily-built workspace pool shared by every call on this session —
     /// the amortisation `diagnose_batch` used to rebuild per call.
     ws: OnceLock<WorkspacePool>,
+    /// The session's registration on the process-wide [`MetricsHub`],
+    /// held so dropping the session detaches it ([`Diagnoser::stats`]).
+    hub_session: Option<HubSession<'static>>,
 }
 
 impl<'g> Diagnoser<'g> {
@@ -306,6 +309,7 @@ impl<'g> Diagnoser<'g> {
             check_preconditions: true,
             tracer,
             ws: OnceLock::new(),
+            hub_session: None,
         }
     }
 
@@ -417,6 +421,40 @@ impl<'g> Diagnoser<'g> {
     /// called or `MMDIAG_TRACE` is set.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attach this session's metrics registry to the process-wide
+    /// [`MetricsHub`] under `name`: fleet snapshots
+    /// ([`MetricsHub::merged_snapshot`]) and the `MMDIAG_STATS` reporter
+    /// stream (`mmdiag_exec::stats`) then include this session's
+    /// counters alongside every other attached session's. Implies
+    /// tracing — a disabled tracer is upgraded to a default-config one,
+    /// since the metrics registry lives on the trace sink. The
+    /// registration is dropped (and the hub forgets the session) when
+    /// the `Diagnoser` is dropped.
+    ///
+    /// The first `stats` call in a process also attaches the executor's
+    /// contention cells (`sync.lock_wait_ns`, `sync.park_ns`,
+    /// `sync.injector_depth`, `sync.deque_depth`) to the hub as one
+    /// process-level `"sync"` pseudo-session — once, not per session,
+    /// so hub merges never double-count the shared cells. The cells
+    /// only fill while `mmdiag_exec::set_contention_profiling(true)`
+    /// (or the `MMDIAG_TRACE` knob) has profiling on.
+    ///
+    /// Call `stats` *after* [`Diagnoser::trace`]: `trace` replaces the
+    /// tracer (and its registry), which would strand an earlier
+    /// attachment on the abandoned registry.
+    pub fn stats(mut self, name: &str) -> Self {
+        if self.tracer.metrics_handle().is_none() {
+            self.tracer = Tracer::new(TraceConfig::default());
+        }
+        attach_sync_cells_once();
+        let registry = self
+            .tracer
+            .metrics_handle()
+            .expect("the tracer was just enabled");
+        self.hub_session = Some(MetricsHub::global().attach(name, registry));
+        self
     }
 
     // --- bound / preconditions ------------------------------------------
@@ -782,6 +820,21 @@ impl<'g> Diagnoser<'g> {
     }
 }
 
+/// Attach the executor's shared contention cells to the hub exactly once,
+/// as a `"sync"` pseudo-session. The cells are process-wide singletons
+/// ([`mmdiag_exec::sync_stats`]); registering them into each session's
+/// registry instead would make [`MetricsHub::merged_snapshot`] count every
+/// lock-wait N times for N attached sessions.
+fn attach_sync_cells_once() {
+    use std::sync::OnceLock;
+    static SYNC_ATTACHMENT: OnceLock<HubSession<'static>> = OnceLock::new();
+    SYNC_ATTACHMENT.get_or_init(|| {
+        let registry = std::sync::Arc::new(MetricsRegistry::new());
+        mmdiag_exec::sync_stats().register_into(&registry);
+        MetricsHub::global().attach("sync", registry)
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,6 +921,78 @@ mod tests {
         if !session.tracer().is_enabled() {
             assert!(session.tracer().drain().is_empty());
         }
+    }
+
+    #[test]
+    fn hub_merged_snapshot_equals_sum_of_concurrent_session_registries() {
+        use mmdiag_trace::{merge_snapshots, MetricSnapshot, MetricValue, MetricsHub};
+        // Four sessions on four threads, each attached to the hub under a
+        // recognisable name; every run accumulates into the session's
+        // adopted `oracle.lookups` cell. A `Diagnoser` is not `Send`
+        // (boxed `dyn Partitionable + Sync` topology), so the sessions
+        // stay on their threads: `ready` holds them alive while the main
+        // thread snapshots, `release` lets them drop.
+        use std::sync::{Arc, Barrier};
+        let ready = Arc::new(Barrier::new(5));
+        let release = Arc::new(Barrier::new(5));
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let (ready, release) = (Arc::clone(&ready), Arc::clone(&release));
+            handles.push(
+                mmdiag_exec::sync::thread::spawn_named(format!("hubtest-worker-{i}"), move || {
+                    let g = Hypercube::new(7);
+                    let session = Diagnoser::cached(&g)
+                        .pooled()
+                        .stats(&format!("hubtest-{i}"));
+                    let s = OracleSyndrome::new(
+                        FaultSet::new(128, &[1 + i as usize, 64, 90]),
+                        TesterBehavior::Random { seed: 7 + i },
+                    );
+                    // No unwraps before `ready` — a panic here would strand
+                    // the barrier; failures surface through the join below.
+                    let runs_ok = (0..3).all(|_| session.run(&s).is_ok());
+                    let lookups = s.lookups();
+                    ready.wait();
+                    release.wait();
+                    drop(session);
+                    (runs_ok, lookups)
+                })
+                .unwrap(),
+            );
+        }
+        ready.wait();
+        // Other tests (and the process-level "sync" attachment) may be on
+        // the hub concurrently — restrict to our own attachments.
+        let per_session: Vec<Vec<MetricSnapshot>> = MetricsHub::global()
+            .snapshot_sessions()
+            .into_iter()
+            .filter(|(name, _)| name.starts_with("hubtest-"))
+            .map(|(_, snap)| snap)
+            .collect();
+        assert_eq!(per_session.len(), 4, "all four sessions attached");
+        let merged = merge_snapshots(&per_session);
+        let lookups = merged
+            .iter()
+            .find(|m| m.name == "oracle.lookups")
+            .expect("every session adopted the oracle counter");
+        release.wait();
+        let results: Vec<(bool, u64)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(results.iter().all(|(ok, _)| *ok), "every run diagnosed");
+        let expected: u64 = results.iter().map(|(_, n)| n).sum();
+        assert_eq!(
+            lookups.value,
+            MetricValue::Counter(expected),
+            "hub merge is exactly the sum of the live registries"
+        );
+        // The threads dropped their sessions after `release` — the hub
+        // forgets the names.
+        assert!(
+            MetricsHub::global()
+                .snapshot_sessions()
+                .iter()
+                .all(|(name, _)| !name.starts_with("hubtest-")),
+            "detach on drop"
+        );
     }
 
     #[test]
