@@ -86,7 +86,9 @@ use mmdiag_topology::{Cached, NodeId, Partitionable, Topology};
 use mmdiag_trace::clock::Stopwatch;
 use mmdiag_trace::{HistogramSummary, MetricValue, TraceConfig, TraceSummary};
 
+pub mod online;
 pub mod throughput;
+pub use online::{run_online, OnlineFamilyRecord, OnlineRecord};
 pub use throughput::{overhead_guard, run_throughput, OverheadGuard, ThroughputRecord};
 
 /// Lane widths exercised by the strided-search leg of every run (the
@@ -1410,6 +1412,7 @@ pub fn to_json(
     batches: &[BatchRecord],
     scenarios: &[ScenarioRecord],
     throughput: Option<&ThroughputRecord>,
+    online: Option<&OnlineRecord>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -1657,9 +1660,62 @@ pub fn to_json(
                  \"within_tolerance\": {}}}\n",
                 t.overhead.bare_nanos, t.overhead.instrumented_nanos, t.overhead.within_tolerance,
             ));
+            out.push_str("  },\n");
+        }
+        None => out.push_str("  \"throughput\": null,\n"),
+    }
+    // The --online epoch-monitoring axis — additive v2 key, `null` when
+    // the axis did not run. Same one-line-per-nested-object discipline
+    // as "throughput", for the same line-oriented reader-skip reason.
+    match online {
+        Some(o) => {
+            out.push_str("  \"online\": {\n");
+            out.push_str(&format!(
+                "    \"epochs_per_family\": {}, \"onset_rate\": {:.3}, \"recovery_rate\": {:.3},\n",
+                o.epochs_per_family, o.onset_rate, o.recovery_rate
+            ));
+            out.push_str(&format!(
+                "    \"disagreements\": {}, \"families_without_savings\": {},\n",
+                o.disagreements, o.families_without_savings
+            ));
+            out.push_str("    \"families\": [\n");
+            for (i, f) in o.families.iter().enumerate() {
+                out.push_str(&format!(
+                    concat!(
+                        "      {{\"family\": \"{}\", \"instance\": \"{}\", \"node_count\": {}, ",
+                        "\"parts\": {}, \"epochs\": {}, \"escalated\": {}, \"quiescent\": {}, ",
+                        "\"sparse_epochs\": {}, \"sparse_incremental_lookups\": {}, ",
+                        "\"sparse_scratch_lookups\": {}, \"total_incremental_lookups\": {}, ",
+                        "\"total_scratch_lookups\": {}, \"amortized_incremental\": {:.3}, ",
+                        "\"amortized_scratch\": {:.3}, \"sparse_cheaper\": {}, ",
+                        "\"detection_latency_ns\": {}, \"verified\": {}, ",
+                        "\"disagreements\": {}}}{}\n"
+                    ),
+                    json_escape(f.family),
+                    json_escape(&f.instance),
+                    f.nodes,
+                    f.parts,
+                    f.epochs,
+                    f.escalated,
+                    f.quiescent,
+                    f.sparse_epochs,
+                    f.sparse_incremental_lookups,
+                    f.sparse_scratch_lookups,
+                    f.total_incremental_lookups,
+                    f.total_scratch_lookups,
+                    f.amortized_incremental,
+                    f.amortized_scratch,
+                    f.sparse_cheaper,
+                    histogram_json(&f.detection_latency_ns),
+                    f.verified,
+                    f.disagreements,
+                    if i + 1 == o.families.len() { "" } else { "," }
+                ));
+            }
+            out.push_str("    ]\n");
             out.push_str("  }\n");
         }
-        None => out.push_str("  \"throughput\": null\n"),
+        None => out.push_str("  \"online\": null\n"),
     }
     out.push_str("}\n");
     out
@@ -1744,25 +1800,27 @@ pub fn calibrate_cutover_in(dir: &std::path::Path) -> Option<CutoverCalibration>
     }
 
     // Per measured size: cell count and the floor estimate (min over
-    // cells) of driver and pooled wall time. The v2 `"throughput"`
-    // section is not a per-instance record — its fleet rollups must
-    // never seed a calibration group — so the loop skips it wholesale,
-    // tracking brace depth from its opening line (none of the emitted
-    // string values contain braces, so counting brace characters per
-    // line is exact for documents this crate writes and safely lenient
-    // for hand-edited ones).
+    // cells) of driver and pooled wall time. The v2 additive top-level
+    // sections (`"throughput"` fleet rollups, `"online"` epoch-monitor
+    // rollups) are not per-instance records — they must never seed a
+    // calibration group — so the loop skips each wholesale, tracking
+    // brace depth from its opening line (none of the emitted string
+    // values contain braces, so counting brace characters per line is
+    // exact for documents this crate writes and safely lenient for
+    // hand-edited ones).
+    const ADDITIVE_SECTIONS: [&str; 2] = ["\"throughput\"", "\"online\""];
     let mut groups: Vec<(usize, usize, u128, u128)> = Vec::new();
-    let mut throughput_depth: i64 = 0;
+    let mut skip_depth: i64 = 0;
     for line in text.lines() {
         let delta = line.matches('{').count() as i64 - line.matches('}').count() as i64;
-        if throughput_depth > 0 {
-            throughput_depth += delta;
+        if skip_depth > 0 {
+            skip_depth += delta;
             continue;
         }
-        if line.contains("\"throughput\"") {
-            // One-line `"throughput": null` (or a complete object) ends
+        if ADDITIVE_SECTIONS.iter().any(|key| line.contains(key)) {
+            // A one-line `"<key>": null` (or a complete object) ends
             // here; an opening line starts the skipped section.
-            throughput_depth = delta.max(0);
+            skip_depth = delta.max(0);
             continue;
         }
         let (Some(nodes), Some(driver), Some(pooled)) = (
@@ -1927,7 +1985,7 @@ mod tests {
         assert!(sampled.agree && sampled.certificate_ok);
         assert_eq!(sampled.disagreements, 0);
         assert!(sampled.samples > 0 && sampled.checked_tests > 0);
-        let json = to_json("BENCH_TEST", &[rec], &[], &[], None);
+        let json = to_json("BENCH_TEST", &[rec], &[], &[], None, None);
         assert!(json.contains("\"sampled_check\": {\"nanos\": "));
         assert!(json.contains("\"driver_only\": true"));
     }
@@ -2080,6 +2138,61 @@ mod tests {
     }
 
     #[test]
+    fn cutover_calibration_skips_the_online_section() {
+        let dir = std::env::temp_dir().join(format!("mmdiag-olcal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Genuine cells at one size, then an adversarial "online"
+        // section whose family lines carry decoy v1 record keys
+        // ("nodes"/"driver"/"pooled" — keys the real writer deliberately
+        // never puts on online lines). If the reader ingested them it
+        // would see a second, pooled-winning size at 777 nodes.
+        let mut body = String::from("{\"schema\": \"mmdiag-bench/v2\",\n\"records\": [\n");
+        for rep in 0..3u128 {
+            body.push_str(&format!(
+                "    {{\"family\": \"h\", \"nodes\": 128, \"driver\": {{\"nanos\": {}, \
+                 \"lookups\": 1}}, \"pooled\": {{\"nanos\": {}}}}},\n",
+                100 + rep,
+                900 + rep,
+            ));
+        }
+        body.push_str("],\n");
+        body.push_str("\"online\": {\n");
+        body.push_str("    \"families\": [\n");
+        for _ in 0..3 {
+            body.push_str(
+                "    {\"nodes\": 777, \"driver\": {\"nanos\": 9000}, \
+                 \"pooled\": {\"nanos\": 1}},\n",
+            );
+        }
+        body.push_str("    ],\n");
+        body.push_str("    \"nested\": {\"deeper\": {\"nodes\": 777}}\n");
+        body.push_str("}\n}\n");
+        std::fs::write(dir.join("BENCH_8.json"), body).unwrap();
+        let cal = calibrate_cutover_in(&dir).expect("the genuine records calibrate");
+        assert_eq!(cal.groups, 1, "decoy online lines seed no groups");
+        assert_eq!(cal.cutover, 129);
+        // The one-line `"online": null` form the writer emits when the
+        // axis is off must not start a skip window either.
+        std::fs::write(
+            dir.join("BENCH_9.json"),
+            concat!(
+                "{\n",
+                "\"online\": null\n",
+                "    {\"nodes\": 512, \"driver\": {\"nanos\": 100, \"lookups\": 1}, \
+                 \"pooled\": {\"nanos\": 900}},\n",
+                "    {\"nodes\": 512, \"driver\": {\"nanos\": 101, \"lookups\": 1}, \
+                 \"pooled\": {\"nanos\": 901}},\n",
+                "    {\"nodes\": 512, \"driver\": {\"nanos\": 102, \"lookups\": 1}, \
+                 \"pooled\": {\"nanos\": 902}}\n}\n",
+            ),
+        )
+        .unwrap();
+        let cal = calibrate_cutover_in(&dir).expect("records after the null still parse");
+        assert_eq!(cal.cutover, 513);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn profiled_cell_emits_a_valid_chrome_trace() {
         let dir = std::env::temp_dir().join(format!("mmdiag-profile-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -2123,12 +2236,12 @@ mod tests {
         }
         // One trace file per cell, embedded additively under "profile".
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), records.len());
-        let json = to_json("BENCH_TEST", &records, &[], &[], None);
+        let json = to_json("BENCH_TEST", &records, &[], &[], None, None);
         assert!(json.contains("\"profile\": {\"trace_file\": "));
         assert!(json.contains("\"run_ns\": {\"count\": "));
         // The un-profiled sweep keeps the key as an explicit null.
         let (plain, _) = sweep(&catalog, true, &mut |_| {});
-        let json = to_json("BENCH_TEST", &plain, &[], &[], None);
+        let json = to_json("BENCH_TEST", &plain, &[], &[], None, None);
         assert!(json.contains("\"profile\": null"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -2198,7 +2311,7 @@ mod tests {
         assert!(rec.distsim.is_none());
         // 1024 nodes sits at the cutover: auto goes pooled here.
         assert_eq!(rec.auto.backend, "pooled");
-        let json = to_json("BENCH_TEST", &[rec], &[], &[], None);
+        let json = to_json("BENCH_TEST", &[rec], &[], &[], None, None);
         assert!(json.contains("\"baseline\": null"));
         assert!(json.contains("\"distsim\": null"));
         assert!(json.contains("\"driver_only\": true"));
@@ -2224,7 +2337,7 @@ mod tests {
                 )
             })
             .collect();
-        let json = to_json("BENCH_12", &recs, &[], &[], None);
+        let json = to_json("BENCH_12", &recs, &[], &[], None, None);
         assert!(json.contains("\"schema\": \"mmdiag-bench/v2\""));
         std::fs::write(dir.join("BENCH_12.json"), &json).unwrap();
         let cal = calibrate_cutover_in(&dir).expect("v2 trajectory parses");
@@ -2255,7 +2368,7 @@ mod tests {
         assert_eq!(batches.len(), 2);
         assert!(batches.iter().all(|b| b.agree && b.cells == 5));
         // Skipped cells render null ratios, never a misleading 0.000.
-        let json = to_json("BENCH_TEST", &records, &batches, &[], None);
+        let json = to_json("BENCH_TEST", &records, &batches, &[], None, None);
         assert!(json.contains("\"speedup_vs_baseline\": null"));
         assert!(!json.contains("\"speedup_vs_baseline\": 0.000"));
         // Full mode never skips.
@@ -2292,7 +2405,7 @@ mod tests {
             pooled_nanos: 8,
             agree: true,
         };
-        let json = to_json("BENCH_TEST", &[rec], &[batch], &scenarios, None);
+        let json = to_json("BENCH_TEST", &[rec], &[batch], &scenarios, None, None);
         // Balanced braces/brackets and the fields the trajectory reader keys on.
         assert_eq!(
             json.matches('{').count(),

@@ -8,7 +8,7 @@
 //! machine-readable trajectory file.
 //!
 //! ```text
-//! mmdiag-bench [--quick] [--large] [--xlarge] [--xxlarge] [--profile] [--throughput] [--out PATH]
+//! mmdiag-bench [--quick] [--large] [--xlarge] [--xxlarge] [--profile] [--throughput] [--online] [--out PATH]
 //!   --quick   one (smallest) instance per family instead of the full
 //!             sweep; also skips the baseline on the largest instance per
 //!             family so the smoke run stays well under ~10 s. With
@@ -45,7 +45,17 @@
 //!             and streams periodic MetricsHub deltas to
 //!             <out-stem>-stats.jsonl (interval MMDIAG_STATS ms,
 //!             default 200)
-//!   --out     output path (default BENCH_7.json in the working directory)
+//!   --online  run the epoch-loop monitor axis after the sweep: one
+//!             long-lived MonitorSession per small-catalog family
+//!             replaying a seeded Poisson fault timeline (MMDIAG_EPOCHS
+//!             epochs, default 24 or 8 with --quick). Every epoch's
+//!             incremental labelling is checked bit-for-bit against a
+//!             from-scratch diagnose; reports detection latency and
+//!             amortised lookups/epoch vs from-scratch under the
+//!             additive top-level "online" key. Any disagreement or a
+//!             family whose sparse epochs fail to beat from-scratch
+//!             fails the binary
+//!   --out     output path (default BENCH_8.json in the working directory)
 //! ```
 //!
 //! At startup the binary recalibrates `diagnose_auto`'s sequential cutover
@@ -55,12 +65,12 @@
 #![forbid(unsafe_code)]
 
 use mmdiag_bench::{
-    calibrate_cutover, distsim_scenarios, full_catalog, large_catalog, run_throughput,
+    calibrate_cutover, distsim_scenarios, full_catalog, large_catalog, run_online, run_throughput,
     small_catalog, sweep_profiled, to_json, xlarge_catalog, xxlarge_catalog, ProfileConfig,
 };
 
 /// The trajectory id this binary emits (`BENCH_<pr>`).
-const BENCH_ID: &str = "BENCH_7";
+const BENCH_ID: &str = "BENCH_8";
 
 fn main() {
     // `--quick` and MMDIAG_QUICK=1 are the same knob (parsed once for the
@@ -73,6 +83,7 @@ fn main() {
     let mut xxlarge = false;
     let mut profile = false;
     let mut throughput_axis = false;
+    let mut online_axis = false;
     let mut out_path = format!("{BENCH_ID}.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -83,6 +94,7 @@ fn main() {
             "--xxlarge" => xxlarge = true,
             "--profile" => profile = true,
             "--throughput" => throughput_axis = true,
+            "--online" => online_axis = true,
             "--out" => {
                 out_path = args
                     .next()
@@ -91,7 +103,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mmdiag-bench [--quick] [--large] [--xlarge] [--xxlarge] \
-                     [--profile] [--throughput] [--out PATH]"
+                     [--profile] [--throughput] [--online] [--out PATH]"
                 );
                 return;
             }
@@ -279,6 +291,39 @@ fn main() {
         None
     };
 
+    // The --online axis replays a Poisson fault timeline through a
+    // long-lived MonitorSession per family, checking every epoch
+    // bit-for-bit against a from-scratch diagnosis.
+    let online = if online_axis {
+        let epochs = mmdiag_exec::config::knobs()
+            .epochs
+            .unwrap_or(if quick { 8 } else { 24 });
+        eprintln!(
+            "running --online monitor axis ({epochs} epochs per family, incremental vs from-scratch)…"
+        );
+        let rec = run_online(quick);
+        for f in &rec.families {
+            eprintln!(
+                "{:<22} {:>3} epochs  {:>2} escalated  {:>2} quiescent  \
+                 sparse {:>8.1} vs {:>8.1} lookups/epoch  {}",
+                f.instance,
+                f.epochs,
+                f.escalated,
+                f.quiescent,
+                f.amortized_incremental,
+                f.amortized_scratch,
+                if f.disagreements == 0 && f.sparse_cheaper {
+                    "ok"
+                } else {
+                    "FAIL"
+                },
+            );
+        }
+        Some(rec)
+    } else {
+        None
+    };
+
     let disagreements = records.iter().filter(|r| !r.agree).count()
         + records
             .iter()
@@ -296,7 +341,10 @@ fn main() {
         + scenarios.iter().filter(|s| !s.ok).count()
         + throughput.as_ref().map_or(0, |t| {
             t.disagreements as usize + usize::from(!t.overhead.within_tolerance)
-        });
+        })
+        + online
+            .as_ref()
+            .map_or(0, |o| o.disagreements as usize + o.families_without_savings);
     let small_regressions = records.iter().filter(|r| !r.auto_no_regression).count();
     let json = to_json(
         BENCH_ID,
@@ -304,6 +352,7 @@ fn main() {
         &batches,
         &scenarios,
         throughput.as_ref(),
+        online.as_ref(),
     );
     std::fs::write(&out_path, &json)
         .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));

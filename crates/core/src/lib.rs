@@ -74,8 +74,8 @@ pub use backend::{
 pub use driver::{diagnose, diagnose_unchecked, Diagnosis, DiagnosisError};
 pub use parallel::diagnose_parallel;
 pub use session::{
-    BackendPolicy, Certificate, DiagnosisReport, GrowRound, PhaseTelemetry, SessionOptions,
-    VerificationVerdict,
+    grow_from_certificate, probe_part, BackendPolicy, Certificate, DiagnosisReport, GrowRound,
+    PartProbe, PhaseTelemetry, SessionOptions, VerificationVerdict,
 };
 pub use set_builder::{
     lookup_bound, set_builder, set_builder_filtered, set_builder_in_part, SetBuilderOutcome,

@@ -364,6 +364,91 @@ where
     })
 }
 
+/// One part's restricted probe, exposed as a first-class outcome so the
+/// epoch monitor (`mmdiag-monitor`) can re-probe exactly the parts whose
+/// syndromes moved and reuse the rest across epochs. The restricted probe
+/// at part `p` consults only tests `s_u(v, w)` with `u`, `v`, `w` all
+/// inside `p` (`set_builder_in_part` filters candidates and witnesses by
+/// part membership), so a cached `PartProbe` stays valid until a node
+/// *of that part* changes fault status.
+#[derive(Clone, Debug)]
+pub struct PartProbe {
+    /// The probed part.
+    pub part: usize,
+    /// The part's representative — the probe seed.
+    pub representative: NodeId,
+    /// Did the restricted tree certify the part all-healthy?
+    pub all_healthy: bool,
+    /// Syndrome entries this probe consulted.
+    pub lookups: u64,
+    /// The §4.1 certificate, present exactly when `all_healthy`.
+    pub certificate: Option<Certificate>,
+}
+
+/// Probe a single part: the restricted `Set_Builder` growth at the part's
+/// representative, packaged with its certificate when it certifies. This
+/// is one iteration of the sequential probe scan
+/// (`run_sequential_in_ws`), split out so callers that keep per-part
+/// state across calls (the incremental monitor) can drive the scan
+/// themselves.
+pub fn probe_part<T, S>(
+    g: &T,
+    s: &S,
+    part: usize,
+    fault_bound: usize,
+    ws: &mut Workspace,
+) -> PartProbe
+where
+    T: Partitionable + ?Sized,
+    S: SyndromeSource + ?Sized,
+{
+    let u0 = g.representative(part);
+    let start = s.lookups();
+    let probe = set_builder_in_part(g, s, u0, fault_bound, ws);
+    let lookups = checked_delta(s.lookups(), start);
+    let all_healthy = probe.all_healthy;
+    PartProbe {
+        part,
+        representative: u0,
+        all_healthy,
+        lookups,
+        certificate: all_healthy.then(|| Certificate::from_probe(part, u0, probe)),
+    }
+}
+
+/// Unrestricted growth + sweep from an existing certificate — the
+/// post-probe half of the Theorem-1 driver as a first-class step. The
+/// growth from a given certified seed is deterministic, so re-running it
+/// against a moved syndrome yields exactly the labelling a from-scratch
+/// `diagnose` would produce once the probe scan lands on the same part.
+/// `probes` and `start_lookups` seed the diagnosis' accounting fields
+/// (the monitor passes the epoch's walk so `lookups_used` reports the
+/// epoch's true cost).
+pub fn grow_from_certificate<T, S>(
+    g: &T,
+    s: &S,
+    certificate: &Certificate,
+    probes: usize,
+    fault_bound: usize,
+    start_lookups: u64,
+    ws: &mut Workspace,
+) -> Result<Diagnosis, DiagnosisError>
+where
+    T: Topology + ?Sized,
+    S: SyndromeSource + ?Sized,
+{
+    grow_and_sweep(
+        g,
+        s,
+        certificate.representative,
+        certificate.part,
+        probes,
+        fault_bound,
+        start_lookups,
+        ws,
+    )
+}
+
 /// The sequential session run in a caller-provided workspace — the
 /// canonical in-order scan every sequential entry point
 /// (`diagnose`, `diagnose_unchecked`, the sequential arms of

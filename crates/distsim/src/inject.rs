@@ -11,6 +11,8 @@
 use crate::event::Time;
 use mmdiag_syndrome::{ground_truth, FaultSet, TestResult, TesterBehavior};
 use mmdiag_topology::NodeId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// A time-indexed fault set: base faults active from time 0, plus nodes
 /// that turn faulty at configurable onset times.
@@ -105,6 +107,179 @@ impl FaultTimeline {
     }
 }
 
+/// What happened to one node at an epoch boundary of an
+/// [`EpochTimeline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochEventKind {
+    /// The node turned faulty at this boundary.
+    Onset,
+    /// The node was repaired (returned to healthy) at this boundary.
+    Recovery,
+}
+
+/// One fault-state change at an epoch boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochEvent {
+    /// The affected node.
+    pub node: NodeId,
+    /// Onset or recovery.
+    pub kind: EpochEventKind,
+}
+
+/// A fleet-health timeline quantised into monitoring epochs: per epoch, a
+/// batch of onset/recovery events and the instantaneous fault set they
+/// produce. This is what an online monitor ingests — each epoch's event
+/// nodes are exactly the syndrome delta (the nodes whose fault status,
+/// and therefore whose incident test outcomes, moved since the previous
+/// epoch).
+///
+/// Built by [`EpochTimeline::poisson`]: seeded, fully deterministic over
+/// the vendored `rand` shims — the same seed always yields the same
+/// timeline, so monitoring runs are replayable.
+#[derive(Clone, Debug)]
+pub struct EpochTimeline {
+    behavior: TesterBehavior,
+    /// `snapshots[e]` is the fault set in force during epoch `e`.
+    snapshots: Vec<FaultSet>,
+    /// `events[e]` are the boundary events that turned epoch `e - 1`'s
+    /// fault set into epoch `e`'s (`events[0]` applies to the empty set).
+    events: Vec<Vec<EpochEvent>>,
+}
+
+impl EpochTimeline {
+    /// A seeded Poisson onset/recovery timeline over `epochs` epochs on a
+    /// network of `n` nodes. Per epoch the number of new faults is
+    /// Poisson-distributed with mean `onset_rate` (nodes drawn uniformly
+    /// from the currently-healthy set) and the number of repairs is
+    /// Poisson-distributed with mean `recovery_rate` (drawn uniformly
+    /// from the currently-faulty set). The live fault count is clamped to
+    /// `max_faults` — onsets beyond the cap are dropped, mirroring a
+    /// deployment that only stays diagnosable while `|F| ≤ δ`.
+    ///
+    /// Poisson samples come from Knuth's product-of-uniforms method with
+    /// uniforms built from `gen_below(2^53)`, since the vendored shims
+    /// expose no float sampling. Deterministic: same arguments ⇒ the same
+    /// timeline, bit for bit.
+    pub fn poisson(
+        n: usize,
+        epochs: usize,
+        onset_rate: f64,
+        recovery_rate: f64,
+        max_faults: usize,
+        seed: u64,
+        behavior: TesterBehavior,
+    ) -> Self {
+        assert!(epochs > 0, "a timeline needs at least one epoch");
+        assert!(n > 0, "empty network");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut healthy: Vec<NodeId> = (0..n).collect();
+        let mut faulty: Vec<NodeId> = Vec::new();
+        let mut snapshots = Vec::with_capacity(epochs);
+        let mut events = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut batch = Vec::new();
+            // Recoveries first, so a saturated epoch can free capacity
+            // for its own onsets.
+            let recoveries = poisson_sample(&mut rng, recovery_rate).min(faulty.len());
+            for _ in 0..recoveries {
+                let idx = rng.gen_below(faulty.len() as u64) as usize;
+                let node = faulty.swap_remove(idx);
+                healthy.push(node);
+                batch.push(EpochEvent {
+                    node,
+                    kind: EpochEventKind::Recovery,
+                });
+            }
+            let onsets = poisson_sample(&mut rng, onset_rate);
+            for _ in 0..onsets {
+                if faulty.len() >= max_faults || healthy.is_empty() {
+                    break; // dropped: the fleet is at its diagnosable cap
+                }
+                let idx = rng.gen_below(healthy.len() as u64) as usize;
+                let node = healthy.swap_remove(idx);
+                faulty.push(node);
+                batch.push(EpochEvent {
+                    node,
+                    kind: EpochEventKind::Onset,
+                });
+            }
+            let mut members = faulty.clone();
+            members.sort_unstable();
+            snapshots.push(FaultSet::new(n, &members));
+            events.push(batch);
+        }
+        EpochTimeline {
+            behavior,
+            snapshots,
+            events,
+        }
+    }
+
+    /// Number of epochs in the timeline.
+    pub fn epoch_count(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Number of nodes in the network this timeline is defined over.
+    pub fn universe(&self) -> usize {
+        self.snapshots[0].universe()
+    }
+
+    /// The faulty-tester behaviour in force for every test.
+    pub fn behavior(&self) -> TesterBehavior {
+        self.behavior
+    }
+
+    /// The instantaneous fault set during epoch `e`.
+    pub fn faults_at(&self, e: usize) -> &FaultSet {
+        &self.snapshots[e]
+    }
+
+    /// The boundary events that opened epoch `e`.
+    pub fn events_at(&self, e: usize) -> &[EpochEvent] {
+        &self.events[e]
+    }
+
+    /// The syndrome delta of epoch `e`: the sorted nodes whose fault
+    /// status changed *net* at the boundary (every test outcome that
+    /// moved involves at least one of them — MM outcomes depend only on
+    /// the statuses of the three participants). A node that recovered and
+    /// re-onset within the same boundary batch cancels out: its status —
+    /// and so every test it participates in — is exactly what it was the
+    /// epoch before.
+    pub fn delta_at(&self, e: usize) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.events[e].iter().map(|ev| ev.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let cur = &self.snapshots[e];
+        nodes.retain(|&v| {
+            let before = e > 0 && self.snapshots[e - 1].contains(v);
+            before != cur.contains(v)
+        });
+        nodes
+    }
+}
+
+/// Knuth's Poisson sampler: count uniform draws until their product drops
+/// below `e^{-lambda}`. Uniforms are `gen_below(2^53) / 2^53` — 53-bit
+/// mantissa-exact, so the f64 arithmetic is deterministic everywhere.
+fn poisson_sample<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        const SCALE: u64 = 1 << 53;
+        p *= rng.gen_below(SCALE) as f64 / SCALE as f64;
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +319,105 @@ mod tests {
         );
         assert!(tl.is_static(), "time-0 onsets fold into the base set");
         assert_eq!(tl.active_at(0).members(), &[0, 2]);
+    }
+
+    #[test]
+    fn poisson_timeline_is_deterministic_per_seed() {
+        let make = |seed| {
+            EpochTimeline::poisson(
+                128,
+                20,
+                0.8,
+                0.3,
+                7,
+                seed,
+                TesterBehavior::Random { seed: 3 },
+            )
+        };
+        let (a, b) = (make(42), make(42));
+        assert_eq!(a.epoch_count(), 20);
+        for e in 0..a.epoch_count() {
+            assert_eq!(a.faults_at(e).members(), b.faults_at(e).members());
+            assert_eq!(a.events_at(e), b.events_at(e));
+            assert_eq!(a.delta_at(e), b.delta_at(e));
+        }
+        // A different seed diverges somewhere (128 choose anything makes a
+        // collision across all 20 epochs vanishingly unlikely).
+        let c = make(43);
+        assert!(
+            (0..20).any(|e| a.faults_at(e).members() != c.faults_at(e).members()),
+            "seeds 42 and 43 produced identical 20-epoch timelines"
+        );
+    }
+
+    #[test]
+    fn poisson_timeline_respects_the_fault_cap_and_replays_consistently() {
+        // An aggressive onset rate against a tight cap: the live fault
+        // count must never exceed the cap, and each epoch's snapshot must
+        // equal the previous one with the epoch's events applied.
+        let tl = EpochTimeline::poisson(64, 30, 3.0, 0.5, 4, 7, TesterBehavior::AllZero);
+        let mut live: Vec<NodeId> = Vec::new();
+        for e in 0..tl.epoch_count() {
+            for ev in tl.events_at(e) {
+                match ev.kind {
+                    EpochEventKind::Onset => {
+                        assert!(!live.contains(&ev.node), "double onset of {}", ev.node);
+                        live.push(ev.node);
+                    }
+                    EpochEventKind::Recovery => {
+                        let at = live
+                            .iter()
+                            .position(|&v| v == ev.node)
+                            .expect("recovery of a healthy node");
+                        live.swap_remove(at);
+                    }
+                }
+            }
+            assert!(live.len() <= 4, "epoch {e} exceeded the cap");
+            let mut sorted = live.clone();
+            sorted.sort_unstable();
+            assert_eq!(tl.faults_at(e).members(), &sorted[..], "epoch {e}");
+            // The published delta is exactly the symmetric difference of
+            // consecutive snapshots (same-epoch recover+re-onset pairs
+            // cancel).
+            let prev: &[NodeId] = if e == 0 {
+                &[]
+            } else {
+                tl.faults_at(e - 1).members()
+            };
+            let mut sym: Vec<NodeId> = prev
+                .iter()
+                .filter(|v| !tl.faults_at(e).contains(**v))
+                .chain(
+                    tl.faults_at(e)
+                        .members()
+                        .iter()
+                        .filter(|v| !prev.contains(v)),
+                )
+                .copied()
+                .collect();
+            sym.sort_unstable();
+            assert_eq!(tl.delta_at(e), sym, "epoch {e}");
+        }
+        // The cap binds somewhere under 3 expected onsets/epoch.
+        assert!((0..30).any(|e| tl.faults_at(e).len() == 4));
+    }
+
+    #[test]
+    fn poisson_sampler_tracks_its_mean() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for &lambda in &[0.3f64, 1.0, 4.0] {
+            let n = 4000;
+            let total: usize = (0..n).map(|_| poisson_sample(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda.max(1.0),
+                "lambda {lambda}: sample mean {mean}"
+            );
+        }
+        assert_eq!(poisson_sample(&mut rng, 0.0), 0);
+        assert_eq!(poisson_sample(&mut rng, -1.0), 0);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod node;
 pub mod sim;
 
 pub use event::{EventQueue, QueueTelemetry, Time};
-pub use inject::FaultTimeline;
+pub use inject::{EpochEvent, EpochEventKind, EpochTimeline, FaultTimeline};
 pub use link::LatencyModel;
 pub use sim::{
     simulate, simulate_unchecked, simulate_with_plan, GrowthTrace, ProbeTrace, SimError, SimReport,

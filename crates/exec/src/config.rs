@@ -22,6 +22,7 @@
 //! | `MMDIAG_TRACE` | any non-empty value except `"0"` | `false` |
 //! | `MMDIAG_GROW_CUTOVER` | positive integer | ignored (`None`) |
 //! | `MMDIAG_STATS` | positive integer (milliseconds) | ignored (`None`) |
+//! | `MMDIAG_EPOCHS` | positive integer | ignored (`None`) |
 
 use std::sync::OnceLock;
 
@@ -55,12 +56,20 @@ pub struct Knobs {
     /// deltas as JSON lines at this cadence. `None` when unset,
     /// unparsable, or zero (no reporter).
     pub stats: Option<u64>,
+    /// `MMDIAG_EPOCHS` — epoch count for online-monitoring harnesses
+    /// (the bench `--online` axis and the `online_monitor` example).
+    /// `None` when unset, unparsable, or zero — consumers fall back to
+    /// their own per-mode default.
+    pub epochs: Option<usize>,
 }
 
 impl Knobs {
     /// Parse raw variable values (as [`std::env::var`] would hand them
     /// over: `None` = unset) into a [`Knobs`]. Pure — the unit tests feed
     /// malformed strings here without mutating the process environment.
+    /// One positional argument per `MMDIAG_*` variable, in declaration
+    /// order — a struct-of-options would just move the same list.
+    #[allow(clippy::too_many_arguments)]
     pub fn parse(
         pool_threads: Option<&str>,
         cutover: Option<&str>,
@@ -69,6 +78,7 @@ impl Knobs {
         trace: Option<&str>,
         grow_cutover: Option<&str>,
         stats: Option<&str>,
+        epochs: Option<&str>,
     ) -> Self {
         let truthy = |v: Option<&str>| v.is_some_and(|v| !v.is_empty() && v != "0");
         let positive = |v: Option<&str>| {
@@ -87,6 +97,7 @@ impl Knobs {
             stats: stats
                 .and_then(|v| v.trim().parse::<u64>().ok())
                 .filter(|&n| n > 0),
+            epochs: positive(epochs),
         }
     }
 
@@ -102,6 +113,7 @@ impl Knobs {
             get("MMDIAG_TRACE").as_deref(),
             get("MMDIAG_GROW_CUTOVER").as_deref(),
             get("MMDIAG_STATS").as_deref(),
+            get("MMDIAG_EPOCHS").as_deref(),
         )
     }
 }
@@ -121,7 +133,7 @@ mod tests {
 
     #[test]
     fn unset_environment_yields_defaults() {
-        let k = Knobs::parse(None, None, None, None, None, None, None);
+        let k = Knobs::parse(None, None, None, None, None, None, None, None);
         assert_eq!(k.pool_threads, None);
         assert_eq!(k.cutover, None);
         assert!(!k.quick);
@@ -129,6 +141,23 @@ mod tests {
         assert!(!k.trace);
         assert_eq!(k.grow_cutover, None);
         assert_eq!(k.stats, None);
+        assert_eq!(k.epochs, None);
+    }
+
+    #[test]
+    fn epochs_parses_positive_integers_only() {
+        let epochs = |v| Knobs::parse(None, None, None, None, None, None, None, v).epochs;
+        assert_eq!(epochs(Some("24")), Some(24));
+        assert_eq!(epochs(Some(" 8 ")), Some(8), "trimmed like the others");
+        assert_eq!(
+            epochs(Some("0")),
+            None,
+            "a zero-epoch monitor is no monitor"
+        );
+        for bad in ["", "abc", "-3", "1.5", "0x10", "1e3"] {
+            assert_eq!(epochs(Some(bad)), None, "epochs {bad:?}");
+        }
+        assert_eq!(epochs(None), None);
     }
 
     #[test]
@@ -141,6 +170,7 @@ mod tests {
             Some("1"),
             Some("65536"),
             None,
+            Some("32"),
         );
         assert_eq!(k.pool_threads, Some(6));
         assert_eq!(k.cutover, Some(2048));
@@ -148,11 +178,12 @@ mod tests {
         assert_eq!(k.samples_per_part, Some(5));
         assert!(k.trace);
         assert_eq!(k.grow_cutover, Some(65536));
+        assert_eq!(k.epochs, Some(32));
     }
 
     #[test]
     fn trace_flag_shares_quick_truthiness() {
-        let trace = |v| Knobs::parse(None, None, None, None, v, None, None).trace;
+        let trace = |v| Knobs::parse(None, None, None, None, v, None, None, None).trace;
         assert!(trace(Some("1")));
         assert!(trace(Some("chrome")));
         assert!(!trace(Some("0")));
@@ -163,16 +194,16 @@ mod tests {
     #[test]
     fn pool_threads_is_clamped_not_rejected() {
         assert_eq!(
-            Knobs::parse(Some("0"), None, None, None, None, None, None).pool_threads,
+            Knobs::parse(Some("0"), None, None, None, None, None, None, None).pool_threads,
             Some(1)
         );
         assert_eq!(
-            Knobs::parse(Some("999"), None, None, None, None, None, None).pool_threads,
+            Knobs::parse(Some("999"), None, None, None, None, None, None, None).pool_threads,
             Some(64)
         );
         // Whitespace survives the historical `.trim()` behaviour.
         assert_eq!(
-            Knobs::parse(Some(" 4 "), None, None, None, None, None, None).pool_threads,
+            Knobs::parse(Some(" 4 "), None, None, None, None, None, None, None).pool_threads,
             Some(4)
         );
     }
@@ -180,7 +211,16 @@ mod tests {
     #[test]
     fn malformed_integers_are_ignored() {
         for bad in ["", "abc", "-3", "1.5", "0x10", "1e3", "१०"] {
-            let k = Knobs::parse(Some(bad), Some(bad), None, Some(bad), None, Some(bad), None);
+            let k = Knobs::parse(
+                Some(bad),
+                Some(bad),
+                None,
+                Some(bad),
+                None,
+                Some(bad),
+                None,
+                None,
+            );
             assert_eq!(k.pool_threads, None, "pool_threads {bad:?}");
             assert_eq!(k.cutover, None, "cutover {bad:?}");
             assert_eq!(k.samples_per_part, None, "samples {bad:?}");
@@ -190,7 +230,16 @@ mod tests {
 
     #[test]
     fn zero_cutover_and_zero_samples_are_rejected() {
-        let k = Knobs::parse(None, Some("0"), None, Some("0"), None, Some("0"), None);
+        let k = Knobs::parse(
+            None,
+            Some("0"),
+            None,
+            Some("0"),
+            None,
+            Some("0"),
+            None,
+            None,
+        );
         assert_eq!(k.cutover, None, "a zero cutover would disable sequential");
         assert_eq!(k.samples_per_part, None);
         assert_eq!(
@@ -201,17 +250,26 @@ mod tests {
 
     #[test]
     fn grow_cutover_parses_like_cutover_but_independently() {
-        let k = Knobs::parse(None, Some("512"), None, None, None, Some(" 1048576 "), None);
+        let k = Knobs::parse(
+            None,
+            Some("512"),
+            None,
+            None,
+            None,
+            Some(" 1048576 "),
+            None,
+            None,
+        );
         assert_eq!(k.cutover, Some(512));
         assert_eq!(k.grow_cutover, Some(1048576), "trimmed and parsed");
-        let k = Knobs::parse(None, None, None, None, None, Some("7"), None);
+        let k = Knobs::parse(None, None, None, None, None, Some("7"), None, None);
         assert_eq!(k.cutover, None, "grow knob must not leak into cutover");
         assert_eq!(k.grow_cutover, Some(7));
     }
 
     #[test]
     fn stats_interval_parses_positive_milliseconds_only() {
-        let stats = |v| Knobs::parse(None, None, None, None, None, None, v).stats;
+        let stats = |v| Knobs::parse(None, None, None, None, None, None, v, None).stats;
         assert_eq!(stats(Some("250")), Some(250));
         assert_eq!(stats(Some(" 50 ")), Some(50), "trimmed like the others");
         assert_eq!(stats(Some("0")), None, "zero would busy-spin the sampler");
@@ -224,12 +282,12 @@ mod tests {
     fn quick_flag_semantics_match_the_historical_parse() {
         // The bench binary historically treated any non-empty value except
         // "0" as on — including junk like "false".
-        assert!(Knobs::parse(None, None, Some("1"), None, None, None, None).quick);
-        assert!(Knobs::parse(None, None, Some("yes"), None, None, None, None).quick);
-        assert!(Knobs::parse(None, None, Some("false"), None, None, None, None).quick);
-        assert!(!Knobs::parse(None, None, Some("0"), None, None, None, None).quick);
-        assert!(!Knobs::parse(None, None, Some(""), None, None, None, None).quick);
-        assert!(!Knobs::parse(None, None, None, None, None, None, None).quick);
+        assert!(Knobs::parse(None, None, Some("1"), None, None, None, None, None).quick);
+        assert!(Knobs::parse(None, None, Some("yes"), None, None, None, None, None).quick);
+        assert!(Knobs::parse(None, None, Some("false"), None, None, None, None, None).quick);
+        assert!(!Knobs::parse(None, None, Some("0"), None, None, None, None, None).quick);
+        assert!(!Knobs::parse(None, None, Some(""), None, None, None, None, None).quick);
+        assert!(!Knobs::parse(None, None, None, None, None, None, None, None).quick);
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Property suite for the monitor's escalation contract, driven by the
+//! distsim Poisson fault timelines:
+//!
+//! * every epoch — escalated, incremental or quiescent — is
+//!   **bit-identical** to a from-scratch diagnosis of the same
+//!   instantaneous fault set;
+//! * a delta touching the certified part always escalates
+//!   ([`EscalationReason::CertificateInvalidated`]) and the escalated
+//!   epoch is an honest full walk (no cached probe served, from-scratch
+//!   lookup cost);
+//! * a delta disjoint from the certified part never escalates, re-probes
+//!   at most the dirty parts, and costs **strictly fewer** lookups than
+//!   the from-scratch run on the same syndrome.
+
+use mmdiag_core::{diagnose, Diagnosis};
+use mmdiag_distsim::EpochTimeline;
+use mmdiag_monitor::{EscalationReason, MonitorSession};
+use mmdiag_syndrome::{OracleSyndrome, SyndromeSource, TesterBehavior};
+use mmdiag_topology::families::{Hypercube, StarGraph};
+use mmdiag_topology::{Partitionable, Topology};
+use mmdiag_trace::Tracer;
+
+fn assert_bit_identical(got: &Diagnosis, want: &Diagnosis, ctx: &str) {
+    assert_eq!(got.faults, want.faults, "{ctx}: fault sets");
+    assert_eq!(got.certified_part, want.certified_part, "{ctx}: part");
+    assert_eq!(got.probes, want.probes, "{ctx}: probes");
+    assert_eq!(got.healthy_count, want.healthy_count, "{ctx}: healthy");
+    assert_eq!(got.tree.edges(), want.tree.edges(), "{ctx}: tree");
+}
+
+/// Replay a Poisson timeline through a monitor, asserting the epoch
+/// contract against from-scratch runs. Returns
+/// (escalated, incremental, quiescent, strictly_cheaper) epoch counts.
+fn replay(
+    g: &(dyn Partitionable + Sync),
+    timeline: &EpochTimeline,
+    ctx: &str,
+) -> (usize, usize, usize, usize) {
+    let bound = g.driver_fault_bound();
+    let mut m = MonitorSession::new(g, bound, Tracer::disabled());
+    let (mut escalated, mut incremental, mut quiescent, mut cheaper) = (0, 0, 0, 0);
+    let mut prev_certified: Option<usize> = None;
+    for e in 0..timeline.epoch_count() {
+        let faults = timeline.faults_at(e);
+        let delta = timeline.delta_at(e);
+        let s = OracleSyndrome::new(faults.clone(), timeline.behavior());
+        let report = match m.ingest(&s, &delta) {
+            Ok(r) => r,
+            Err(err) => panic!("{ctx} epoch {e}: {err}"),
+        };
+        let want = diagnose(g, &OracleSyndrome::new(faults.clone(), timeline.behavior()))
+            .unwrap_or_else(|err| panic!("{ctx} epoch {e} from-scratch: {err}"));
+        assert_bit_identical(&report.diagnosis, &want, &format!("{ctx} epoch {e}"));
+        match report.escalation {
+            Some(reason) => {
+                escalated += 1;
+                // An escalated epoch is an honest full walk: nothing is
+                // served from cache and the cost is exactly from-scratch.
+                assert_eq!(
+                    report.parts_reused, 0,
+                    "{ctx} epoch {e}: reuse under {reason:?}"
+                );
+                assert_eq!(
+                    report.lookups, want.lookups_used,
+                    "{ctx} epoch {e}: escalated cost must equal from-scratch"
+                );
+                if e > 0 {
+                    // Past the initial epoch, the only escalation a
+                    // healthy replay sees is an invalidated certificate —
+                    // and then the delta really did touch that part.
+                    let EscalationReason::CertificateInvalidated { part } = reason else {
+                        panic!("{ctx} epoch {e}: unexpected {reason:?}");
+                    };
+                    assert!(
+                        delta.iter().any(|&v| g.part_of(v) == part),
+                        "{ctx} epoch {e}: escalated on an untouched part"
+                    );
+                }
+            }
+            None if report.quiescent => {
+                quiescent += 1;
+                assert!(delta.is_empty(), "{ctx} epoch {e}: quiescent with a delta");
+                assert_eq!(report.lookups, 0, "{ctx} epoch {e}: quiescent lookups");
+            }
+            None => {
+                incremental += 1;
+                // The delta stayed clear of the *previous* certificate's
+                // part (the one the escalation decision is made against —
+                // the winner itself may legitimately move to a freshly
+                // re-probed part), so the monitor re-probed at most the
+                // dirty parts...
+                let certified = prev_certified.expect("incremental epoch has a predecessor");
+                assert!(
+                    delta.iter().all(|&v| g.part_of(v) != certified),
+                    "{ctx} epoch {e}: incremental despite a dirty certified part"
+                );
+                assert!(
+                    report.parts_reprobed <= report.dirty_parts,
+                    "{ctx} epoch {e}: re-probed {} of {} dirty parts",
+                    report.parts_reprobed,
+                    report.dirty_parts
+                );
+                // ...and an epoch that serves any probe from cache beats
+                // from-scratch outright (from-scratch always pays for
+                // every probe up to the certificate).
+                if report.parts_reused > 0 {
+                    assert!(
+                        report.lookups < want.lookups_used,
+                        "{ctx} epoch {e}: incremental {} !< from-scratch {}",
+                        report.lookups,
+                        want.lookups_used
+                    );
+                    cheaper += 1;
+                }
+            }
+        }
+        prev_certified = Some(report.certificate.part);
+    }
+    (escalated, incremental, quiescent, cheaper)
+}
+
+#[test]
+fn poisson_replay_holds_the_epoch_contract_on_the_hypercube() {
+    let g = Hypercube::new(7);
+    let bound = g.driver_fault_bound();
+    let mut totals = (0, 0, 0, 0);
+    for seed in 0..6u64 {
+        let timeline = EpochTimeline::poisson(
+            g.node_count(),
+            16,
+            0.8,
+            0.5,
+            bound,
+            seed,
+            TesterBehavior::Random { seed: seed ^ 0x5a },
+        );
+        let (e, i, q, c) = replay(&g, &timeline, &format!("Q7 seed {seed}"));
+        totals = (totals.0 + e, totals.1 + i, totals.2 + q, totals.3 + c);
+    }
+    // The sweep must actually exercise all three paths — a vacuous pass
+    // (e.g. every epoch escalating) would prove nothing.
+    assert!(totals.0 >= 6, "escalated epochs: {totals:?}");
+    assert!(totals.1 > 0, "incremental epochs: {totals:?}");
+    assert!(totals.3 > 0, "strictly-cheaper epochs: {totals:?}");
+}
+
+#[test]
+fn poisson_replay_holds_the_epoch_contract_on_the_star_graph() {
+    let g = StarGraph::new(5);
+    let bound = g.driver_fault_bound();
+    let mut exercised = (0, 0);
+    for seed in 0..4u64 {
+        let timeline = EpochTimeline::poisson(
+            g.node_count(),
+            12,
+            0.7,
+            0.6,
+            bound,
+            seed,
+            TesterBehavior::Random { seed: 100 + seed },
+        );
+        let (e, i, _, _) = replay(&g, &timeline, &format!("S5 seed {seed}"));
+        exercised = (exercised.0 + e, exercised.1 + i);
+    }
+    assert!(
+        exercised.0 > 0 && exercised.1 > 0,
+        "paths hit: {exercised:?}"
+    );
+}
+
+#[test]
+fn quiescent_runs_between_bursts_cost_nothing() {
+    // A hand-built schedule: burst, silence, burst — the silent epochs
+    // must reuse the labelling wholesale.
+    let g = Hypercube::new(7);
+    let behavior = TesterBehavior::AllZero;
+    let mut m = MonitorSession::new(&g, g.driver_fault_bound(), Tracer::disabled());
+    let s0 = OracleSyndrome::new(mmdiag_syndrome::FaultSet::new(128, &[64, 90]), behavior);
+    let first = m.ingest(&s0, &[64, 90]).unwrap();
+    for _ in 0..5 {
+        let r = m.ingest(&s0, &[]).unwrap();
+        assert!(r.quiescent);
+        assert_eq!(r.lookups, 0);
+        assert_eq!(r.diagnosis.faults, first.diagnosis.faults);
+    }
+    assert_eq!(s0.lookups(), first.lookups, "silence consulted nothing");
+}

@@ -54,5 +54,6 @@ pub use hist::{
 pub use metrics::{checked_delta, Counter, Gauge, MetricSnapshot, MetricValue, MetricsRegistry};
 pub use sink::{current_tid, Span, TraceConfig, TraceEvent, TraceSink, Tracer};
 pub use summary::{
-    NameStat, TraceSummary, CAT_PHASE, PHASE_CERTIFY, PHASE_GROW, PHASE_GROW_ROUND, PHASE_PROBE,
+    NameStat, TraceSummary, CAT_MONITOR, CAT_PHASE, MONITOR_EPOCH, PHASE_CERTIFY, PHASE_GROW,
+    PHASE_GROW_ROUND, PHASE_PROBE,
 };

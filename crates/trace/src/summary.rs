@@ -21,6 +21,12 @@ pub const PHASE_GROW: &str = "grow";
 /// frontier-parallel growth sweep. Aggregated per-name like every other
 /// span, so the probe/certify/grow phase totals are untouched.
 pub const PHASE_GROW_ROUND: &str = "grow.round";
+/// Category the epoch monitor's spans carry (`mmdiag-monitor`).
+pub const CAT_MONITOR: &str = "monitor";
+/// One monitoring epoch: delta ingest → re-probe walk → growth. The
+/// span's value attribute is the epoch's total syndrome lookups, and the
+/// per-phase spans of any re-probe/growth work nest inside it.
+pub const MONITOR_EPOCH: &str = "monitor.epoch";
 
 /// Aggregate of all spans sharing one name.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

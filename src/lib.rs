@@ -24,6 +24,7 @@ pub use mmdiag_core as diagnosis;
 pub use mmdiag_distsim as distsim;
 pub use mmdiag_exec as exec;
 pub use mmdiag_implicit as implicit;
+pub use mmdiag_monitor as monitor;
 pub use mmdiag_syndrome as syndrome;
 pub use mmdiag_topology as topology;
 pub use mmdiag_trace as trace;
@@ -32,6 +33,7 @@ pub use mmdiag_core::{
     BackendPolicy, Certificate, DiagnosisError, DiagnosisReport, PhaseTelemetry,
     VerificationVerdict,
 };
+pub use mmdiag_monitor::{EpochReport, EscalationReason, MonitorSession};
 pub use session::{
     BatchJob, Diagnoser, RunError, RunMode, RunOutcome, TopologySource, VerificationPolicy,
 };

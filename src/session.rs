@@ -58,6 +58,7 @@ use mmdiag_core::{
 };
 use mmdiag_distsim::{simulate_unchecked, FaultTimeline, LatencyModel, SimError, SimReport};
 use mmdiag_implicit::ImplicitTopology;
+use mmdiag_monitor::MonitorSession;
 use mmdiag_syndrome::{FaultSet, OnDemandOracle, OracleSyndrome, SyndromeSource, TesterBehavior};
 use mmdiag_topology::{Cached, NodeId, Partitionable};
 use mmdiag_trace::{HubSession, MetricsHub, MetricsRegistry, TraceConfig, Tracer};
@@ -536,8 +537,9 @@ impl<'g> Diagnoser<'g> {
     {
         if let RunMode::Simulated(_) = self.mode {
             return Err(DiagnosisError::Unsupported(
-                "simulated sessions replay planted syndromes; \
-                 use run_planted / simulate / submit_batch"
+                "simulated sessions replay planted syndromes; use run_planted / \
+                 simulate / submit_batch for one-shot runs, or an in-process \
+                 session's monitor() for live epoch loops"
                     .into(),
             ));
         }
@@ -547,6 +549,42 @@ impl<'g> Diagnoser<'g> {
         report.verification =
             self.verify_claim(s, &report.diagnosis.faults, report.diagnosis.certified_part);
         Ok(report)
+    }
+
+    /// Open a long-lived monitoring session over this session's
+    /// topology: the epoch-based incremental re-diagnosis loop
+    /// ([`MonitorSession`]). Each
+    /// [`ingest`](MonitorSession::ingest) takes the current syndrome
+    /// plus the delta of nodes whose status changed and re-diagnoses
+    /// incrementally — cached part probes, certified-seed reuse,
+    /// escalation to a full walk when the certificate is invalidated —
+    /// with every epoch's labelling bit-identical to a from-scratch
+    /// [`run`](Diagnoser::run) on the same instantaneous fault set.
+    ///
+    /// The monitor borrows the session's topology, shares its tracer
+    /// (epoch spans and `monitor.*` counters land in the same sink and
+    /// any [`stats`](Diagnoser::stats) hub attachment) and honours its
+    /// fault bound and precondition policy. The epoch loop itself is
+    /// sequential — the monitor's whole point is to skip probes, not to
+    /// fan them out — so the backend policy does not apply.
+    ///
+    /// Errors with [`DiagnosisError::Unsupported`] on a
+    /// [`RunMode::Simulated`] session: the monitor consults a live
+    /// syndrome each epoch, which an event-level replay cannot serve.
+    pub fn monitor(&self) -> Result<MonitorSession<'_>, DiagnosisError> {
+        if let RunMode::Simulated(_) = self.mode {
+            return Err(DiagnosisError::Unsupported(
+                "simulated sessions replay planted syndromes and have no live \
+                 epoch loop; monitor() needs an in-process session"
+                    .into(),
+            ));
+        }
+        let g = self.topology.view();
+        if self.check_preconditions {
+            g.check_partition_preconditions()
+                .map_err(DiagnosisError::Preconditions)?;
+        }
+        Ok(MonitorSession::new(g, self.bound(), self.tracer.clone()))
     }
 
     /// Diagnose a planted fault set under a tester behaviour, honouring

@@ -547,3 +547,86 @@ fn driver_parallel_pooled_auto_baseline_and_simulator_agree_on_every_family() {
         }
     }
 }
+
+/// The online-monitoring contract across every family: replay a Poisson
+/// fault timeline through `Diagnoser::monitor()` and assert that each
+/// epoch's incremental labelling is **bit-identical** to a from-scratch
+/// `diagnose` on the same instantaneous fault set, under both the
+/// all-zero and the seeded-random faulty-tester behaviours — while the
+/// sweep as a whole actually exercises the cache (some epoch on some
+/// family must reuse probes and come in strictly under from-scratch).
+#[test]
+fn online_monitor_epochs_are_bit_identical_to_from_scratch_on_every_family() {
+    use mmdiag::distsim::EpochTimeline;
+    let mut reused_somewhere = 0usize;
+    let mut cheaper_somewhere = 0usize;
+    for (fi, case) in cases().iter().enumerate() {
+        let g = case.main.as_ref();
+        let n = g.node_count();
+        let bound = g.driver_fault_bound();
+        for b in [
+            TesterBehavior::AllZero,
+            TesterBehavior::Random {
+                seed: 0xE0 + fi as u64,
+            },
+        ] {
+            let timeline = EpochTimeline::poisson(n, 8, 0.9, 0.5, bound, 0xA1 ^ fi as u64, b);
+            let session = Diagnoser::new(g);
+            let mut monitor = session
+                .monitor()
+                .unwrap_or_else(|e| panic!("{}: monitor(): {e}", g.name()));
+            for e in 0..timeline.epoch_count() {
+                let faults = timeline.faults_at(e);
+                let s = OracleSyndrome::new(faults.clone(), b);
+                let report = monitor
+                    .ingest(&s, &timeline.delta_at(e))
+                    .unwrap_or_else(|err| panic!("{} epoch {e}: {err} ({b:?})", g.name()));
+                let want = diagnose(g, &OracleSyndrome::new(faults.clone(), b))
+                    .unwrap_or_else(|err| panic!("{} epoch {e} scratch: {err} ({b:?})", g.name()));
+                assert_eq!(
+                    report.diagnosis.faults,
+                    want.faults,
+                    "{} epoch {e} {b:?}",
+                    g.name()
+                );
+                assert_eq!(
+                    report.diagnosis.certified_part,
+                    want.certified_part,
+                    "{} epoch {e} part {b:?}",
+                    g.name()
+                );
+                assert_eq!(
+                    report.diagnosis.probes,
+                    want.probes,
+                    "{} epoch {e} probes {b:?}",
+                    g.name()
+                );
+                assert_eq!(
+                    report.diagnosis.healthy_count,
+                    want.healthy_count,
+                    "{} epoch {e} healthy {b:?}",
+                    g.name()
+                );
+                assert_eq!(
+                    report.diagnosis.tree.edges(),
+                    want.tree.edges(),
+                    "{} epoch {e} tree {b:?}",
+                    g.name()
+                );
+                if report.parts_reused > 0 {
+                    reused_somewhere += 1;
+                    if report.escalation.is_none() && !report.quiescent {
+                        assert!(
+                            report.lookups < want.lookups_used,
+                            "{} epoch {e} {b:?}: cache-served epoch not cheaper",
+                            g.name()
+                        );
+                        cheaper_somewhere += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(reused_somewhere > 0, "the sweep never exercised the cache");
+    assert!(cheaper_somewhere > 0, "no epoch beat from-scratch");
+}
